@@ -1,0 +1,298 @@
+// Package repro's root benchmark suite regenerates every table and figure
+// of the paper's evaluation (§5) as testing.B benchmarks at a laptop
+// scale. Each benchmark reports, besides ns/op, the metrics the paper
+// plots: disk page accesses per query ("pages/op") and modelled I/O
+// milliseconds per query ("io_ms/op"). Use cmd/oifbench for full
+// parameter sweeps and larger scales.
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// benchCfg is the shared scale for the root benches: big enough for
+// multi-page lists, small enough for quick runs.
+func benchCfg() experiments.Config {
+	cfg := experiments.DefaultConfig(io.Discard)
+	cfg.Scale = 0.005 // default synthetic |D| = 50 000 records
+	cfg.RealScale = 0.05
+	cfg.QueriesPerSize = 10
+	return cfg
+}
+
+// Shared fixtures, built once.
+var (
+	onceSynth sync.Once
+	synthPair *experiments.Pair
+	synthGen  *workload.Generator
+
+	onceMSWeb sync.Once
+	mswebPair *experiments.Pair
+	mswebGen  *workload.Generator
+
+	onceMSNBC sync.Once
+	msnbcPair *experiments.Pair
+	msnbcGen  *workload.Generator
+)
+
+func synthFixture(b *testing.B) (*experiments.Pair, *workload.Generator) {
+	b.Helper()
+	onceSynth.Do(func() {
+		cfg := benchCfg()
+		d, err := dataset.GenerateSynthetic(cfg.SyntheticDefaults())
+		if err != nil {
+			panic(err)
+		}
+		synthPair, err = cfg.BuildPair(d)
+		if err != nil {
+			panic(err)
+		}
+		synthGen = workload.NewGenerator(d, 42)
+	})
+	return synthPair, synthGen
+}
+
+func mswebFixture(b *testing.B) (*experiments.Pair, *workload.Generator) {
+	b.Helper()
+	onceMSWeb.Do(func() {
+		cfg := benchCfg()
+		d, err := dataset.GenerateMSWeb(dataset.MSWebConfig{
+			BaseRecords: int(32711 * cfg.RealScale), Replicas: 10, Seed: 2,
+		})
+		if err != nil {
+			panic(err)
+		}
+		mswebPair, err = cfg.BuildPair(d)
+		if err != nil {
+			panic(err)
+		}
+		mswebGen = workload.NewGenerator(d, 43)
+	})
+	return mswebPair, mswebGen
+}
+
+func msnbcFixture(b *testing.B) (*experiments.Pair, *workload.Generator) {
+	b.Helper()
+	onceMSNBC.Do(func() {
+		cfg := benchCfg()
+		d, err := dataset.GenerateMSNBC(dataset.MSNBCConfig{
+			NumRecords: int(989818 * cfg.RealScale), Seed: 3,
+		})
+		if err != nil {
+			panic(err)
+		}
+		msnbcPair, err = cfg.BuildPair(d)
+		if err != nil {
+			panic(err)
+		}
+		msnbcGen = workload.NewGenerator(d, 44)
+	})
+	return msnbcPair, msnbcGen
+}
+
+// benchWorkload runs queries round-robin against ix, reporting page
+// accesses and modelled I/O per query alongside the usual timings.
+func benchWorkload(b *testing.B, ix experiments.ContainmentIndex, queries []workload.Query) {
+	b.Helper()
+	if len(queries) == 0 {
+		b.Skip("no queries available at this scale")
+	}
+	pool := ix.Pool()
+	if err := pool.DropAll(); err != nil {
+		b.Fatal(err)
+	}
+	pool.ResetStats()
+	disk := storage.DefaultDiskModel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunQuery(ix, queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := pool.Stats()
+	b.ReportMetric(float64(st.Misses)/float64(b.N), "pages/op")
+	b.ReportMetric(float64(disk.Time(st).Microseconds())/1000/float64(b.N), "io_ms/op")
+}
+
+// benchPairWorkload runs the same workload for both systems as
+// sub-benchmarks, mirroring the paper's IF-vs-OIF series.
+func benchPairWorkload(b *testing.B, pair *experiments.Pair, queries []workload.Query) {
+	b.Helper()
+	b.Run("IF", func(b *testing.B) { benchWorkload(b, pair.IF, queries) })
+	b.Run("OIF", func(b *testing.B) { benchWorkload(b, pair.OIF, queries) })
+}
+
+// --- Figure 7: real-data twins, |qs| = 4 representative point ----------
+
+func BenchmarkFig7MSWebSubset(b *testing.B) {
+	pair, gen := mswebFixture(b)
+	benchPairWorkload(b, pair, gen.Queries(workload.Subset, 4, 10))
+}
+
+func BenchmarkFig7MSWebEquality(b *testing.B) {
+	pair, gen := mswebFixture(b)
+	benchPairWorkload(b, pair, gen.Queries(workload.Equality, 4, 10))
+}
+
+func BenchmarkFig7MSWebSuperset(b *testing.B) {
+	pair, gen := mswebFixture(b)
+	benchPairWorkload(b, pair, gen.Queries(workload.Superset, 4, 10))
+}
+
+func BenchmarkFig7MSNBCSubset(b *testing.B) {
+	pair, gen := msnbcFixture(b)
+	benchPairWorkload(b, pair, gen.Queries(workload.Subset, 4, 10))
+}
+
+func BenchmarkFig7MSNBCEquality(b *testing.B) {
+	pair, gen := msnbcFixture(b)
+	benchPairWorkload(b, pair, gen.Queries(workload.Equality, 4, 10))
+}
+
+func BenchmarkFig7MSNBCSuperset(b *testing.B) {
+	pair, gen := msnbcFixture(b)
+	benchPairWorkload(b, pair, gen.Queries(workload.Superset, 4, 10))
+}
+
+// --- Figures 8-10: synthetic sweeps at the default parameter point -----
+
+func BenchmarkFig8Subset(b *testing.B) {
+	pair, gen := synthFixture(b)
+	for _, size := range []int{2, 4, 8, 16} {
+		queries := gen.Queries(workload.Subset, size, 10)
+		b.Run(sizeName(size)+"/IF", func(b *testing.B) { benchWorkload(b, pair.IF, queries) })
+		b.Run(sizeName(size)+"/OIF", func(b *testing.B) { benchWorkload(b, pair.OIF, queries) })
+	}
+}
+
+func BenchmarkFig9Equality(b *testing.B) {
+	pair, gen := synthFixture(b)
+	for _, size := range []int{2, 4, 8, 16} {
+		queries := gen.Queries(workload.Equality, size, 10)
+		b.Run(sizeName(size)+"/IF", func(b *testing.B) { benchWorkload(b, pair.IF, queries) })
+		b.Run(sizeName(size)+"/OIF", func(b *testing.B) { benchWorkload(b, pair.OIF, queries) })
+	}
+}
+
+func BenchmarkFig10Superset(b *testing.B) {
+	pair, gen := synthFixture(b)
+	for _, size := range []int{2, 4, 8, 16} {
+		queries := gen.Queries(workload.Superset, size, 10)
+		b.Run(sizeName(size)+"/IF", func(b *testing.B) { benchWorkload(b, pair.IF, queries) })
+		b.Run(sizeName(size)+"/OIF", func(b *testing.B) { benchWorkload(b, pair.OIF, queries) })
+	}
+}
+
+func sizeName(size int) string { return fmt.Sprintf("qs%02d", size) }
+
+// --- Ordering ablation (§5 "Impact of the OIF ordering") ---------------
+
+func BenchmarkOrderingAblation(b *testing.B) {
+	pair, gen := synthFixture(b)
+	cfg := benchCfg()
+	ub, err := cfg.BuildUnordered(pair.Data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := gen.Queries(workload.Subset, 6, 10)
+	b.Run("UnorderedBTree", func(b *testing.B) { benchWorkload(b, ub, queries) })
+	b.Run("OIF", func(b *testing.B) { benchWorkload(b, pair.OIF, queries) })
+}
+
+// --- Space overhead (§5) ------------------------------------------------
+
+func BenchmarkSpaceBuild(b *testing.B) {
+	cfg := benchCfg()
+	d, err := dataset.GenerateSynthetic(cfg.SyntheticDefaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("IF", func(b *testing.B) {
+		var pages int64
+		for i := 0; i < b.N; i++ {
+			pair, err := cfg.BuildPair(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pages = pair.IF.ListPages()
+		}
+		b.ReportMetric(float64(pages*int64(cfg.PageSize)), "bytes")
+	})
+	b.Run("OIF", func(b *testing.B) {
+		var bytes int64
+		for i := 0; i < b.N; i++ {
+			pair, err := cfg.BuildPair(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bytes = pair.OIF.Space().TreeBytes
+		}
+		b.ReportMetric(float64(bytes), "bytes")
+	})
+}
+
+// --- Performance summary: update path (§4.4 / §5) -----------------------
+
+func BenchmarkSummaryUpdate(b *testing.B) {
+	cfg := benchCfg()
+	base, err := dataset.GenerateSynthetic(cfg.SyntheticDefaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The paper inserts 200K records into a 1M database; keep the same
+	// 20% delta-to-base ratio so the OIF's re-sort amortises comparably.
+	extraCfg := cfg.SyntheticDefaults()
+	extraCfg.NumRecords = base.Len() / 5
+	extraCfg.Seed = 77
+	extra, err := dataset.GenerateSynthetic(extraCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("IF", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			pair, err := cfg.BuildPair(base)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			for _, r := range extra.Records() {
+				if _, err := pair.IF.Insert(r.Set); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := pair.IF.MergeDelta(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("OIF", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			pair, err := cfg.BuildPair(base)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			for _, r := range extra.Records() {
+				if _, err := pair.OIF.Insert(r.Set); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := pair.OIF.MergeDelta(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,79 @@
+// Command oifbench regenerates the paper's evaluation artefacts (Figures
+// 7-10, the space-overhead comparison, the ordering ablation, and the
+// query/update performance summary) at a configurable fraction of the
+// paper's data sizes.
+//
+// Usage:
+//
+//	oifbench -experiment all -scale 0.01
+//	oifbench -experiment fig9 -scale 0.1 -queries 10
+//
+// At -scale 1 the synthetic sweeps use the paper's full |D| (up to 50M
+// records); the default 0.01 preserves every comparison's shape on a
+// laptop. See EXPERIMENTS.md for recorded runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "one of: all, fig7, fig8, fig9, fig10, space, ordering, summary, ablations")
+		scale      = flag.Float64("scale", 0.01, "fraction of the paper's synthetic |D| (1.0 = paper scale)")
+		realScale  = flag.Float64("realscale", 0.1, "fraction of the real-dataset twins' record counts")
+		queries    = flag.Int("queries", 10, "queries per size and type (the paper uses 10)")
+		seed       = flag.Int64("seed", 1, "random seed for datasets and workloads")
+		pageSize   = flag.Int("pagesize", 4096, "index page size in bytes")
+		blockPost  = flag.Int("blockpostings", 64, "postings per OIF/UBT block")
+		poolPages  = flag.Int("poolpages", 8, "query cache size in pages (8 x 4 KB = the paper's 32 KB)")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig(os.Stdout)
+	cfg.Scale = *scale
+	cfg.RealScale = *realScale
+	cfg.QueriesPerSize = *queries
+	cfg.Seed = *seed
+	cfg.PageSize = *pageSize
+	cfg.BlockPostings = *blockPost
+	cfg.PoolPages = *poolPages
+
+	start := time.Now()
+	var err error
+	switch *experiment {
+	case "all":
+		err = experiments.RunAll(cfg)
+	case "fig7":
+		_, err = experiments.RunFig7(cfg)
+	case "fig8":
+		_, err = experiments.RunSyntheticFigure(cfg, workload.Subset)
+	case "fig9":
+		_, err = experiments.RunSyntheticFigure(cfg, workload.Equality)
+	case "fig10":
+		_, err = experiments.RunSyntheticFigure(cfg, workload.Superset)
+	case "space":
+		_, err = experiments.RunSpace(cfg)
+	case "ordering":
+		_, err = experiments.RunOrdering(cfg)
+	case "summary":
+		_, err = experiments.RunSummary(cfg)
+	case "ablations":
+		_, err = experiments.RunAblations(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "oifbench: unknown experiment %q\n", *experiment)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oifbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,195 @@
+// Command oifquery builds a containment index over a dataset file and
+// answers interactive queries. OIF indexes can be snapshotted to disk and
+// reloaded, skipping the build.
+//
+// Usage:
+//
+//	setgen -kind msweb -out data.txt
+//	oifquery -data data.txt -index oif -save idx.oif
+//	oifquery -load idx.oif
+//
+// Then, on stdin (items are decimal ids):
+//
+//	subset 3 17        records containing both items
+//	equality 3 17 29   records whose set is exactly {3,17,29}
+//	superset 3 17 29   records contained in {3,17,29}
+//	stats              cumulative page-access statistics
+//	help, quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/setcontain"
+)
+
+func main() {
+	var (
+		dataPath = flag.String("data", "", "dataset file")
+		format   = flag.String("format", "text", "dataset format: text, or msweb (UCI Anonymous Microsoft Web Data)")
+		replicas = flag.Int("replicas", 1, "replicate the dataset this many times (the paper uses 10 for msweb)")
+		kindName = flag.String("index", "oif", "index kind: oif, if, or ubt")
+		maxShow  = flag.Int("maxshow", 20, "maximum record ids to print per answer")
+		savePath = flag.String("save", "", "write an OIF snapshot here after building")
+		loadPath = flag.String("load", "", "load an OIF snapshot instead of building from -data")
+	)
+	flag.Parse()
+	if *dataPath == "" && *loadPath == "" {
+		fmt.Fprintln(os.Stderr, "oifquery: one of -data or -load is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oifquery: %v\n", err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		idx, err := setcontain.LoadIndex(f, setcontain.Options{})
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oifquery: load: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded snapshot in %v; type 'help' for commands\n", time.Since(start).Round(time.Millisecond))
+		repl(idx, nil, *maxShow)
+		return
+	}
+	var kind setcontain.Kind
+	switch strings.ToLower(*kindName) {
+	case "oif":
+		kind = setcontain.OIF
+	case "if":
+		kind = setcontain.InvertedFile
+	case "ubt":
+		kind = setcontain.UnorderedBTree
+	default:
+		fmt.Fprintf(os.Stderr, "oifquery: unknown index kind %q\n", *kindName)
+		os.Exit(2)
+	}
+
+	coll, err := loadCollection(*dataPath, *format, *replicas)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oifquery: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("loaded %d records over %d items; building %s index...\n",
+		coll.Len(), coll.DomainSize(), kind)
+	start := time.Now()
+	idx, err := setcontain.Build(coll, setcontain.Options{Kind: kind})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oifquery: build: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("built in %v; type 'help' for commands\n", time.Since(start).Round(time.Millisecond))
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oifquery: %v\n", err)
+			os.Exit(1)
+		}
+		if err := idx.Save(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "oifquery: save: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "oifquery: save: %v\n", err)
+			os.Exit(1)
+		}
+		info, _ := os.Stat(*savePath)
+		fmt.Printf("snapshot written to %s (%d bytes)\n", *savePath, info.Size())
+	}
+	repl(idx, coll, *maxShow)
+}
+
+// repl runs the interactive loop; coll may be nil when loading snapshots.
+func repl(idx *setcontain.Index, coll *setcontain.Collection, maxShow int) {
+	_ = coll
+	sc := bufio.NewScanner(os.Stdin)
+	for fmt.Print("> "); sc.Scan(); fmt.Print("> ") {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		cmd := strings.ToLower(fields[0])
+		switch cmd {
+		case "quit", "exit":
+			return
+		case "help":
+			fmt.Println("commands: subset ITEMS..., equality ITEMS..., superset ITEMS..., stats, quit")
+		case "stats":
+			st := idx.CacheStats()
+			fmt.Printf("page reads: %d (seq %d, near %d, random %d), cache hits: %d\n",
+				st.PageReads, st.Sequential, st.Near, st.Random, st.Hits)
+		case "subset", "equality", "superset":
+			qs, err := parseItems(fields[1:])
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			var ids []uint32
+			t0 := time.Now()
+			switch cmd {
+			case "subset":
+				ids, err = idx.Subset(qs)
+			case "equality":
+				ids, err = idx.Equality(qs)
+			default:
+				ids, err = idx.Superset(qs)
+			}
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			show := ids
+			if len(show) > maxShow {
+				show = show[:maxShow]
+			}
+			fmt.Printf("%d records in %v: %v", len(ids), time.Since(t0).Round(time.Microsecond), show)
+			if len(ids) > maxShow {
+				fmt.Printf(" ... (+%d more)", len(ids)-maxShow)
+			}
+			fmt.Println()
+		default:
+			fmt.Printf("unknown command %q (try 'help')\n", cmd)
+		}
+	}
+}
+
+// loadCollection reads a dataset file in the requested format, applying
+// replication for the paper's msweb methodology.
+func loadCollection(path, format string, replicas int) (*setcontain.Collection, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch strings.ToLower(format) {
+	case "text":
+		return setcontain.ReadCollection(f)
+	case "msweb":
+		return setcontain.ReadMSWebCollection(f, replicas)
+	default:
+		return nil, fmt.Errorf("unknown format %q", format)
+	}
+}
+
+func parseItems(fields []string) ([]setcontain.Item, error) {
+	items := make([]setcontain.Item, 0, len(fields))
+	for _, f := range fields {
+		v, err := strconv.ParseUint(f, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad item %q", f)
+		}
+		items = append(items, setcontain.Item(v))
+	}
+	return items, nil
+}

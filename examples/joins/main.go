@@ -1,0 +1,110 @@
+// Containment joins and composite predicates — the query classes the
+// paper's §6 surveys and its §7 names as future work. The scenario:
+// a catalogue of product "bundles" joined against customer baskets.
+//
+//   - "Which baskets contain each bundle?" is a subset containment join:
+//     for every bundle (outer), find the baskets (inner) whose item set
+//     contains it.
+//   - "Baskets with bread and milk but no candles, drawn entirely from
+//     groceries" is a composite predicate: AllOf + NoneOf + Within.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/setcontain"
+)
+
+const domain = 400 // product vocabulary
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	// Inner relation: 30 000 customer baskets, skewed item popularity.
+	baskets := setcontain.NewCollection(domain)
+	for i := 0; i < 30000; i++ {
+		n := 2 + rng.Intn(10)
+		seen := map[setcontain.Item]bool{}
+		set := make([]setcontain.Item, 0, n)
+		for len(set) < n {
+			u := rng.Float64()
+			it := setcontain.Item(u * u * domain)
+			if it >= domain {
+				it = domain - 1
+			}
+			if !seen[it] {
+				seen[it] = true
+				set = append(set, it)
+			}
+		}
+		if _, err := baskets.Add(set); err != nil {
+			log.Fatal(err)
+		}
+	}
+	idx, err := setcontain.Build(baskets, setcontain.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Outer relation: 50 curated bundles of 2-3 popular products.
+	bundles := setcontain.NewCollection(domain)
+	for i := 0; i < 50; i++ {
+		n := 2 + rng.Intn(2)
+		seen := map[setcontain.Item]bool{}
+		set := make([]setcontain.Item, 0, n)
+		for len(set) < n {
+			it := setcontain.Item(rng.Intn(60)) // popular range
+			if !seen[it] {
+				seen[it] = true
+				set = append(set, it)
+			}
+		}
+		if _, err := bundles.Add(set); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Containment join: bundle ⊆ basket.
+	var pairs, bestBundle int
+	var bestCount int
+	err = idx.JoinInto(bundles, setcontain.PredicateSubset,
+		func(bundleID uint32, basketIDs []uint32) error {
+			pairs += len(basketIDs)
+			if len(basketIDs) > bestCount {
+				bestCount = len(basketIDs)
+				bestBundle = int(bundleID)
+			}
+			return nil
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bestSet, _ := bundles.Record(uint32(bestBundle))
+	fmt.Printf("containment join: %d bundles x %d baskets -> %d qualifying pairs\n",
+		bundles.Len(), baskets.Len(), pairs)
+	fmt.Printf("best-selling bundle #%d %v appears in %d baskets\n\n",
+		bestBundle, bestSet, bestCount)
+
+	// Composite predicate: baskets with items 3 AND 7, without item 0,
+	// drawn entirely from the 100 most popular products.
+	within := make([]setcontain.Item, 100)
+	for i := range within {
+		within[i] = setcontain.Item(i)
+	}
+	q := setcontain.Composite{
+		AllOf:  []setcontain.Item{3, 7},
+		NoneOf: []setcontain.Item{0},
+		Within: within,
+	}
+	ids, err := idx.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("composite query {3,7} ∧ ¬{0} ∧ ⊆top-100: %d baskets\n", len(ids))
+
+	st := idx.CacheStats()
+	fmt.Printf("\ntotal page reads: %d (seq %d, near %d, random %d)\n",
+		st.PageReads, st.Sequential, st.Near, st.Random)
+}

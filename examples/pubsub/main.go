@@ -1,0 +1,108 @@
+// Publish/subscribe matching — an application class the paper singles out
+// ("e.g., superset in publish/subscribe systems"). Each subscription is a
+// set of tags it requires; an event carries a set of tags. A subscription
+// fires when ALL of its tags appear on the event, i.e. the subscription's
+// set is contained in the event's set — precisely a superset query with
+// the event's tags as the query set.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/setcontain"
+)
+
+const (
+	numTags          = 500
+	numSubscriptions = 50000
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(99))
+
+	// Subscriptions require 1..4 tags; tag interest is skewed (low tag
+	// ids are popular topics).
+	coll := setcontain.NewCollection(numTags)
+	for i := 0; i < numSubscriptions; i++ {
+		n := 1 + rng.Intn(4)
+		seen := map[setcontain.Item]bool{}
+		tags := make([]setcontain.Item, 0, n)
+		for len(tags) < n {
+			// Squaring a uniform variate skews towards popular tags.
+			u := rng.Float64()
+			tag := setcontain.Item(u * u * numTags)
+			if tag >= numTags {
+				tag = numTags - 1
+			}
+			if !seen[tag] {
+				seen[tag] = true
+				tags = append(tags, tag)
+			}
+		}
+		if _, err := coll.Add(tags); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	idx, err := setcontain.Build(coll, setcontain.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registered %d subscriptions over %d tags\n\n", coll.Len(), numTags)
+
+	// Dispatch a stream of events; each event carries 3..10 tags.
+	const events = 200
+	var totalMatches, maxMatches int
+	for e := 0; e < events; e++ {
+		n := 3 + rng.Intn(8)
+		seen := map[setcontain.Item]bool{}
+		tags := make([]setcontain.Item, 0, n)
+		for len(tags) < n {
+			u := rng.Float64()
+			tag := setcontain.Item(u * u * numTags)
+			if tag >= numTags {
+				tag = numTags - 1
+			}
+			if !seen[tag] {
+				seen[tag] = true
+				tags = append(tags, tag)
+			}
+		}
+		matches, err := idx.Superset(tags)
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalMatches += len(matches)
+		if len(matches) > maxMatches {
+			maxMatches = len(matches)
+		}
+		if e < 3 {
+			fmt.Printf("event %d with tags %v matched %d subscriptions\n", e+1, tags, len(matches))
+		}
+	}
+	fmt.Printf("...\ndispatched %d events: %.1f matched subscriptions on average, %d max\n",
+		events, float64(totalMatches)/events, maxMatches)
+
+	st := idx.CacheStats()
+	fmt.Printf("page reads across the stream: %d (%.1f per event; seq %d, near %d, random %d)\n",
+		st.PageReads, float64(st.PageReads)/events, st.Sequential, st.Near, st.Random)
+
+	// Subscriptions churn: register a new one mid-stream.
+	id, err := idx.Insert([]setcontain.Item{1, 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := idx.Superset([]setcontain.Item{0, 1, 2, 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fired := false
+	for _, s := range m {
+		if s == id {
+			fired = true
+		}
+	}
+	fmt.Printf("new subscription #%d registered and matching immediately: %v\n", id, fired)
+}

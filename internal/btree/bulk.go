@@ -1,0 +1,256 @@
+package btree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// BulkLoad builds a tree bottom-up from entries in strictly ascending key
+// order, packing leaves left to right. Two locality properties matter for
+// the OIF's cost profile and mirror a naturally grown Berkeley DB file:
+//
+//   - consecutive leaves occupy consecutive pages, so RoI range scans are
+//     charged sequential misses after one positioning access;
+//   - every internal page is written immediately after the children it
+//     covers, so the final descent hop (parent -> leaf) stays within
+//     storage.NearWindow pages — a short seek, not a full one.
+//
+// next must return one entry per call and ok=false at the end. fillPercent
+// (10..100) controls node packing; 90 mirrors common bulk-load defaults
+// and leaves headroom for later Inserts.
+func BulkLoad(pool *storage.BufferPool, next func() (key, value []byte, ok bool, err error), fillPercent int) (*BTree, error) {
+	if pool.Pager().NumPages() != 0 {
+		return nil, errors.New("btree: BulkLoad requires an empty pager")
+	}
+	if fillPercent < 10 || fillPercent > 100 {
+		return nil, fmt.Errorf("btree: fill percent %d outside 10..100", fillPercent)
+	}
+	metaID, meta, err := pool.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	putU64(meta[offMetaMagic:], metaMagic)
+	pool.MarkDirty(metaID)
+	pool.Put(metaID)
+
+	b := &bulkBuilder{
+		pool:   pool,
+		budget: (pool.PageSize() - headerSize) * fillPercent / 100,
+		max:    pool.PageSize() - headerSize - 2*slotSize,
+	}
+
+	var prevKey []byte
+	n := 0
+	for {
+		key, value, ok, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if prevKey != nil && bytes.Compare(prevKey, key) >= 0 {
+			return nil, fmt.Errorf("btree: bulk keys not strictly ascending at entry %d", n)
+		}
+		prevKey = append(prevKey[:0], key...)
+		if err := b.addEntry(key, value); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	rootID, err := b.finish()
+	if err != nil {
+		return nil, err
+	}
+	t := &BTree{pool: pool, root: rootID}
+	if err := t.writeRoot(); err != nil {
+		return nil, err
+	}
+	if err := pool.Flush(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// childRef points a parent level at a completed child page.
+type childRef struct {
+	firstKey []byte
+	id       storage.PageID
+}
+
+// levelBuilder accumulates one internal node per tree level.
+type levelBuilder struct {
+	leftmost storage.PageID
+	firstKey []byte
+	cells    []childRef
+	used     int
+	count    int // children in the open node
+}
+
+// bulkBuilder streams entries into leaves and flushes completed nodes
+// upward, emitting each parent right after its last child.
+type bulkBuilder struct {
+	pool   *storage.BufferPool
+	budget int
+	max    int
+
+	leafID   storage.PageID
+	leaf     node
+	leafUsed int
+	prevLeaf storage.PageID
+
+	levels []*levelBuilder
+}
+
+func (b *bulkBuilder) addEntry(key, value []byte) error {
+	sz := leafCellSize(key, value) + slotSize
+	if sz > b.max {
+		return fmt.Errorf("%w: entry of %d bytes", ErrKeyTooLarge, sz)
+	}
+	if b.leaf.data == nil {
+		if err := b.openLeaf(); err != nil {
+			return err
+		}
+	} else if b.leafUsed+sz > b.budget && b.leaf.numCells() > 0 {
+		if err := b.closeLeaf(); err != nil {
+			return err
+		}
+		if err := b.openLeaf(); err != nil {
+			return err
+		}
+	}
+	b.leaf.insertLeafCell(b.leaf.numCells(), key, value)
+	b.leafUsed += sz
+	return nil
+}
+
+func (b *bulkBuilder) openLeaf() error {
+	id, data, err := b.pool.Allocate()
+	if err != nil {
+		return err
+	}
+	initNode(data, pageTypeLeaf)
+	if b.prevLeaf != 0 {
+		prev, err := b.pool.Get(b.prevLeaf)
+		if err != nil {
+			return err
+		}
+		node{id: b.prevLeaf, data: prev}.setAux(id)
+		b.pool.MarkDirty(b.prevLeaf)
+		b.pool.Put(b.prevLeaf)
+	}
+	b.leafID, b.leaf, b.leafUsed = id, node{id: id, data: data}, 0
+	return nil
+}
+
+func (b *bulkBuilder) closeLeaf() error {
+	first := append([]byte(nil), b.leaf.key(0)...)
+	id := b.leafID
+	b.pool.MarkDirty(id)
+	b.pool.Put(id)
+	b.prevLeaf = id
+	b.leafID, b.leaf = 0, node{}
+	return b.push(0, childRef{firstKey: first, id: id})
+}
+
+// push hands a completed child to level l's builder, flushing that level's
+// node if full.
+func (b *bulkBuilder) push(l int, ref childRef) error {
+	for len(b.levels) <= l {
+		b.levels = append(b.levels, &levelBuilder{leftmost: storage.InvalidPageID})
+	}
+	lv := b.levels[l]
+	if lv.leftmost == storage.InvalidPageID {
+		lv.leftmost = ref.id
+		lv.firstKey = ref.firstKey
+		lv.count = 1
+		return nil
+	}
+	sz := internalCellSize(ref.firstKey) + slotSize
+	if lv.used+sz > b.budget && len(lv.cells) > 0 {
+		if err := b.flushLevel(l); err != nil {
+			return err
+		}
+		lv.leftmost = ref.id
+		lv.firstKey = ref.firstKey
+		lv.count = 1
+		return nil
+	}
+	lv.cells = append(lv.cells, ref)
+	lv.used += sz
+	lv.count++
+	return nil
+}
+
+// flushLevel writes level l's open node and pushes its ref one level up.
+func (b *bulkBuilder) flushLevel(l int) error {
+	lv := b.levels[l]
+	id, data, err := b.pool.Allocate()
+	if err != nil {
+		return err
+	}
+	nd := node{id: id, data: data}
+	initNode(data, pageTypeInternal)
+	nd.setAux(lv.leftmost)
+	for i, c := range lv.cells {
+		nd.insertInternalCell(i, c.firstKey, c.id)
+	}
+	b.pool.MarkDirty(id)
+	b.pool.Put(id)
+	ref := childRef{firstKey: lv.firstKey, id: id}
+	lv.leftmost = storage.InvalidPageID
+	lv.firstKey = nil
+	lv.cells = lv.cells[:0]
+	lv.used = 0
+	lv.count = 0
+	return b.push(l+1, ref)
+}
+
+// finish closes the open leaf and collapses the level stack to a root.
+func (b *bulkBuilder) finish() (storage.PageID, error) {
+	if b.leaf.data != nil {
+		if b.leaf.numCells() > 0 {
+			if err := b.closeLeaf(); err != nil {
+				return storage.InvalidPageID, err
+			}
+		} else {
+			// Empty tree: the lone empty leaf is the root.
+			id := b.leafID
+			b.pool.MarkDirty(id)
+			b.pool.Put(id)
+			return id, nil
+		}
+	}
+	if len(b.levels) == 0 {
+		// No entries at all: allocate an empty leaf root.
+		id, data, err := b.pool.Allocate()
+		if err != nil {
+			return storage.InvalidPageID, err
+		}
+		initNode(data, pageTypeLeaf)
+		b.pool.MarkDirty(id)
+		b.pool.Put(id)
+		return id, nil
+	}
+	// Flush partial levels upward. A level holding a single child with no
+	// siblings pending collapses into that child.
+	for l := 0; ; l++ {
+		lv := b.levels[l]
+		atTop := l == len(b.levels)-1
+		if lv.leftmost == storage.InvalidPageID {
+			if atTop {
+				return storage.InvalidPageID, errors.New("btree: bulk builder finished with no root")
+			}
+			continue
+		}
+		if atTop && len(lv.cells) == 0 {
+			return lv.leftmost, nil // single child: it is the root
+		}
+		if err := b.flushLevel(l); err != nil {
+			return storage.InvalidPageID, err
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func bulkFromPairs(t testing.TB, pageSize, poolPages int, keys, vals [][]byte) *BTree {
+	t.Helper()
+	pool := storage.NewBufferPool(storage.NewMemPager(pageSize), poolPages)
+	i := 0
+	tree, err := BulkLoad(pool, func() ([]byte, []byte, bool, error) {
+		if i == len(keys) {
+			return nil, nil, false, nil
+		}
+		k, v := keys[i], vals[i]
+		i++
+		return k, v, true, nil
+	}, 90)
+	if err != nil {
+		t.Fatalf("BulkLoad: %v", err)
+	}
+	return tree
+}
+
+func TestBulkLoadMatchesInserts(t *testing.T) {
+	const n = 8000
+	keys := make([][]byte, n)
+	vals := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		keys[i] = u32key(uint32(i * 3))
+		vals[i] = []byte(fmt.Sprintf("value-%d", i))
+	}
+	tree := bulkFromPairs(t, 512, 128, keys, vals)
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	ln, err := tree.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ln != n {
+		t.Fatalf("Len = %d, want %d", ln, n)
+	}
+	for i := 0; i < n; i += 97 {
+		got, err := tree.Get(keys[i])
+		if err != nil {
+			t.Fatalf("Get(%d): %v", i, err)
+		}
+		if !bytes.Equal(got, vals[i]) {
+			t.Fatalf("Get(%d) = %q", i, got)
+		}
+	}
+	// Ordered scan returns every key in order.
+	c, err := tree.First()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if !c.Valid() {
+			t.Fatalf("cursor exhausted at %d", i)
+		}
+		if !bytes.Equal(c.Key(), keys[i]) {
+			t.Fatalf("scan at %d has wrong key", i)
+		}
+		if err := c.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tree := bulkFromPairs(t, 256, 16, nil, nil)
+	if _, err := tree.Get([]byte("x")); err != ErrNotFound {
+		t.Fatalf("Get on empty bulk tree: %v", err)
+	}
+	c, err := tree.First()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Valid() {
+		t.Fatal("cursor valid on empty tree")
+	}
+}
+
+func TestBulkLoadSingle(t *testing.T) {
+	tree := bulkFromPairs(t, 256, 16, [][]byte{[]byte("k")}, [][]byte{[]byte("v")})
+	got, err := tree.Get([]byte("k"))
+	if err != nil || string(got) != "v" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+}
+
+func TestBulkLoadRejectsUnsortedKeys(t *testing.T) {
+	pool := storage.NewBufferPool(storage.NewMemPager(256), 16)
+	seq := [][]byte{[]byte("b"), []byte("a")}
+	i := 0
+	_, err := BulkLoad(pool, func() ([]byte, []byte, bool, error) {
+		if i == len(seq) {
+			return nil, nil, false, nil
+		}
+		k := seq[i]
+		i++
+		return k, []byte("v"), true, nil
+	}, 90)
+	if err == nil {
+		t.Fatal("unsorted bulk load succeeded")
+	}
+}
+
+func TestBulkLoadRejectsDuplicates(t *testing.T) {
+	pool := storage.NewBufferPool(storage.NewMemPager(256), 16)
+	i := 0
+	_, err := BulkLoad(pool, func() ([]byte, []byte, bool, error) {
+		if i == 2 {
+			return nil, nil, false, nil
+		}
+		i++
+		return []byte("same"), []byte("v"), true, nil
+	}, 90)
+	if err == nil {
+		t.Fatal("duplicate bulk load succeeded")
+	}
+}
+
+// TestBulkLoadLeafLocality is the reason bulk load exists: consecutive
+// leaves must occupy consecutive pages, so a range scan after one seek is
+// charged sequential misses, not random ones.
+func TestBulkLoadLeafLocality(t *testing.T) {
+	const n = 20000
+	keys := make([][]byte, n)
+	vals := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		keys[i] = u32key(uint32(i))
+		vals[i] = bytes.Repeat([]byte("v"), 16)
+	}
+	pager := storage.NewMemPager(4096)
+	pool := storage.NewBufferPool(pager, 1024)
+	i := 0
+	tree, err := BulkLoad(pool, func() ([]byte, []byte, bool, error) {
+		if i == n {
+			return nil, nil, false, nil
+		}
+		k, v := keys[i], vals[i]
+		i++
+		return k, v, true, nil
+	}, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := storage.NewBufferPool(pager, 8)
+	if err := tree.SetPool(small); err != nil {
+		t.Fatal(err)
+	}
+	// Scan a 2000-entry range: after positioning, nearly all leaf loads
+	// must be sequential.
+	c, err := tree.Seek(u32key(5000), BytewiseCompare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small.ResetStats()
+	for j := 0; j < 2000 && c.Valid(); j++ {
+		if err := c.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := small.Stats()
+	if st.Misses < 5 {
+		t.Fatalf("scan touched only %d pages; expected a real range", st.Misses)
+	}
+	if st.SeqMisses < st.Misses-2 {
+		t.Fatalf("leaf locality broken: %v (want almost all sequential)", st)
+	}
+}
+
+func TestBulkLoadThenInsert(t *testing.T) {
+	// Bulk-loaded trees must accept regular inserts afterwards.
+	const n = 3000
+	keys := make([][]byte, n)
+	vals := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		keys[i] = u32key(uint32(i * 2)) // even keys
+		vals[i] = []byte("v")
+	}
+	tree := bulkFromPairs(t, 512, 256, keys, vals)
+	for i := 0; i < 500; i++ {
+		if err := tree.Insert(u32key(uint32(i*2+1)), []byte("odd")); err != nil {
+			t.Fatalf("Insert after bulk: %v", err)
+		}
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := tree.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ln != n+500 {
+		t.Fatalf("Len = %d, want %d", ln, n+500)
+	}
+	got, err := tree.Get(u32key(999))
+	if err != nil || string(got) != "odd" {
+		t.Fatalf("Get(999) = %q, %v", got, err)
+	}
+}
+
+func TestBulkLoadFillPercentValidation(t *testing.T) {
+	pool := storage.NewBufferPool(storage.NewMemPager(256), 16)
+	if _, err := BulkLoad(pool, func() ([]byte, []byte, bool, error) {
+		return nil, nil, false, nil
+	}, 5); err == nil {
+		t.Fatal("fill percent 5 accepted")
+	}
+}
+
+func TestBulkLoadCustomComparatorSeeks(t *testing.T) {
+	// Bulk-loaded trees must honour probe comparators exactly like
+	// insert-built ones (separators are first keys, not copies of probes).
+	const n = 5000
+	keys := make([][]byte, n)
+	vals := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		keys[i] = u32key(uint32(i * 10))
+		vals[i] = []byte("v")
+	}
+	tree := bulkFromPairs(t, 512, 64, keys, vals)
+	cmp := func(probe, key []byte) int {
+		p := binary.BigEndian.Uint32(probe)
+		k := binary.BigEndian.Uint32(key)
+		switch {
+		case p < k:
+			return -1
+		case p > k:
+			return 1
+		}
+		return 0
+	}
+	c, err := tree.Seek(u32key(25), cmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Valid() || binary.BigEndian.Uint32(c.Key()) != 30 {
+		t.Fatalf("custom seek landed wrong: valid=%v", c.Valid())
+	}
+}

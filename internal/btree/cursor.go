@@ -1,0 +1,116 @@
+package btree
+
+import (
+	"repro/internal/storage"
+)
+
+// Cursor iterates leaf entries in key order. On arrival at each leaf the
+// cursor copies the leaf's entries out of the buffer pool, so it holds no
+// pins while the caller processes entries (the pool stays free to evict —
+// important under the paper's minimal 32 KB cache). Each leaf is therefore
+// charged to the access statistics exactly once per visit.
+//
+// A cursor is invalidated by writes to the tree; the indexes in this
+// repository never interleave writes with scans.
+type Cursor struct {
+	t       *BTree
+	keys    [][]byte
+	vals    [][]byte
+	idx     int
+	next    storage.PageID
+	valid   bool
+	exhaust bool
+}
+
+// Seek positions the cursor at the first entry whose key is >= probe under
+// cmp (pass BytewiseCompare for plain key seeks). After Seek, Valid
+// reports whether such an entry exists.
+func (t *BTree) Seek(probe []byte, cmp Compare) (*Cursor, error) {
+	leaf, err := t.descend(probe, cmp)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cursor{t: t}
+	idx, _ := searchNode(leaf, probe, cmp)
+	c.loadLeaf(leaf)
+	t.pool.Put(leaf.id)
+	c.idx = idx
+	return c, c.settle()
+}
+
+// First positions a cursor at the smallest entry.
+func (t *BTree) First() (*Cursor, error) {
+	id := t.root
+	for {
+		data, err := t.pool.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		n := node{id: id, data: data}
+		if n.isLeaf() {
+			c := &Cursor{t: t}
+			c.loadLeaf(n)
+			t.pool.Put(id)
+			c.idx = 0
+			return c, c.settle()
+		}
+		next := n.aux()
+		t.pool.Put(id)
+		id = next
+	}
+}
+
+// loadLeaf copies the pinned leaf's entries into the cursor.
+func (c *Cursor) loadLeaf(n node) {
+	num := n.numCells()
+	c.keys = c.keys[:0]
+	c.vals = c.vals[:0]
+	for i := 0; i < num; i++ {
+		c.keys = append(c.keys, append([]byte(nil), n.key(i)...))
+		c.vals = append(c.vals, append([]byte(nil), n.value(i)...))
+	}
+	c.next = n.aux()
+	c.idx = 0
+	c.valid = num > 0
+	c.exhaust = false
+}
+
+// settle advances across empty or exhausted leaves until the cursor rests
+// on an entry or runs off the end of the tree.
+func (c *Cursor) settle() error {
+	for c.idx >= len(c.keys) {
+		if c.next == storage.InvalidPageID {
+			c.valid = false
+			c.exhaust = true
+			return nil
+		}
+		data, err := c.t.pool.Get(c.next)
+		if err != nil {
+			return err
+		}
+		n := node{id: c.next, data: data}
+		c.loadLeaf(n)
+		c.t.pool.Put(n.id)
+	}
+	c.valid = true
+	return nil
+}
+
+// Valid reports whether the cursor rests on an entry.
+func (c *Cursor) Valid() bool { return c.valid && !c.exhaust }
+
+// Key returns the current entry's key. The slice is owned by the cursor
+// until the next Next/Seek.
+func (c *Cursor) Key() []byte { return c.keys[c.idx] }
+
+// Value returns the current entry's value, owned like Key.
+func (c *Cursor) Value() []byte { return c.vals[c.idx] }
+
+// Next advances to the following entry in key order.
+func (c *Cursor) Next() error {
+	if !c.Valid() {
+		return nil
+	}
+	c.idx++
+	return c.settle()
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/naive"
+)
+
+// Degenerate inputs: every index operation must behave, not panic.
+
+func TestEmptyDataset(t *testing.T) {
+	d := dataset.New(10)
+	ix, err := Build(d, Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qs := range [][]dataset.Item{nil, {3}, {1, 2, 3}} {
+		if got, err := ix.Subset(qs); err != nil || len(got) != 0 {
+			t.Fatalf("Subset(%v) = %v, %v", qs, got, err)
+		}
+		if got, err := ix.Equality(qs); err != nil || len(got) != 0 {
+			t.Fatalf("Equality(%v) = %v, %v", qs, got, err)
+		}
+		if got, err := ix.Superset(qs); err != nil || len(got) != 0 {
+			t.Fatalf("Superset(%v) = %v, %v", qs, got, err)
+		}
+	}
+}
+
+func TestZeroDomain(t *testing.T) {
+	d := dataset.New(0)
+	if _, err := d.Add(nil); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(d, Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.Superset(nil)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("Superset(∅) over empty-domain data = %v, %v", got, err)
+	}
+}
+
+func TestSingleRecord(t *testing.T) {
+	d := dataset.New(5)
+	if _, err := d.Add([]dataset.Item{1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(d, Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := ix.Subset([]dataset.Item{1}); !equalIDs(got, []uint32{1}) {
+		t.Fatalf("Subset = %v", got)
+	}
+	if got, _ := ix.Equality([]dataset.Item{1, 3}); !equalIDs(got, []uint32{1}) {
+		t.Fatalf("Equality = %v", got)
+	}
+	if got, _ := ix.Superset([]dataset.Item{1, 2, 3}); !equalIDs(got, []uint32{1}) {
+		t.Fatalf("Superset = %v", got)
+	}
+	if got, _ := ix.Superset([]dataset.Item{1}); len(got) != 0 {
+		t.Fatalf("Superset({1}) = %v, want none", got)
+	}
+}
+
+func TestAllRecordsIdentical(t *testing.T) {
+	// Every record is the same set: equality must return all of them,
+	// exercising the multi-block duplicate path (§4.2's "enough
+	// duplicates of qs that do not fit in a single block").
+	d := dataset.New(6)
+	for i := 0; i < 500; i++ {
+		if _, err := d.Add([]dataset.Item{1, 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := Build(d, Options{PageSize: 512, BlockPostings: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.Equality([]dataset.Item{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 500 {
+		t.Fatalf("Equality over identical records = %d answers, want 500", len(got))
+	}
+	for i, id := range got {
+		if id != uint32(i+1) {
+			t.Fatalf("ids not dense ascending at %d: %d", i, id)
+		}
+	}
+}
+
+func TestFullDomainRecords(t *testing.T) {
+	// Records spanning the whole (small) vocabulary.
+	d := dataset.New(8)
+	full := []dataset.Item{0, 1, 2, 3, 4, 5, 6, 7}
+	for i := 0; i < 50; i++ {
+		if _, err := d.Add(full); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Add(full[:4]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := Build(d, Options{PageSize: 512, BlockPostings: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.Superset(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := naive.Superset(d, full); !equalIDs(got, want) {
+		t.Fatalf("Superset(full domain) = %d answers, want %d", len(got), len(want))
+	}
+	got, err = ix.Subset(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("Subset(full domain) = %d answers, want 50", len(got))
+	}
+}
+
+// TestLeastFrequentQueryItems hits the paper's observation that queries
+// over the largest ranks are cheap: their RoI is tiny.
+func TestLeastFrequentQueryItems(t *testing.T) {
+	d, err := dataset.GenerateSynthetic(dataset.SyntheticConfig{
+		NumRecords: 5000, DomainSize: 100, MinLen: 2, MaxLen: 8, ZipfTheta: 1.0, Seed: 66,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(d, Options{PageSize: 512, BlockPostings: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query the two least frequent items that co-occur somewhere.
+	ord := ix.Order()
+	qs := []dataset.Item{ord.Item(98), ord.Item(99)}
+	got, err := ix.Subset(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := naive.Subset(d, qs); !equalIDs(got, want) {
+		t.Fatalf("rare-item Subset = %v, want %v", got, want)
+	}
+}

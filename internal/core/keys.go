@@ -1,0 +1,100 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/sequence"
+)
+
+// B-tree key layout (§3, "B-tree indexing for inverted lists"): each block
+// of an inverted list is one entry whose key concatenates
+//
+//	rank(item)  — 4 bytes big-endian; groups a list's blocks together
+//	tag         — the sequence form of the block's last record, in the
+//	              self-delimiting order-preserving encoding of package
+//	              sequence
+//	lastID      — 4 bytes big-endian; the block's last record id, which
+//	              makes keys unique and enables id-directed seeks
+//
+// Bytewise order over these keys equals (rank, tag, id) logical order.
+
+// blockKey builds the key for a block of rank's list ending at record
+// lastID whose sequence form is tag.
+func blockKey(rank sequence.Rank, tag []sequence.Rank, lastID uint32) []byte {
+	k := make([]byte, 0, 4+sequence.TagLen(len(tag))+4)
+	k = binary.BigEndian.AppendUint32(k, rank)
+	k = sequence.AppendTag(k, tag)
+	return binary.BigEndian.AppendUint32(k, lastID)
+}
+
+// parseKey splits a stored block key.
+func parseKey(k []byte) (rank sequence.Rank, tag []sequence.Rank, lastID uint32, err error) {
+	if len(k) < 9 { // rank + empty tag + id
+		return 0, nil, 0, fmt.Errorf("core: block key too short (%d bytes)", len(k))
+	}
+	rank = binary.BigEndian.Uint32(k)
+	tag, n, err := sequence.DecodeTag(k[4:])
+	if err != nil {
+		return 0, nil, 0, fmt.Errorf("core: block key tag: %w", err)
+	}
+	rest := k[4+n:]
+	if len(rest) != 4 {
+		return 0, nil, 0, fmt.Errorf("core: block key has %d trailing bytes, want 4", len(rest))
+	}
+	lastID = binary.BigEndian.Uint32(rest)
+	return rank, tag, lastID, nil
+}
+
+// keyRank reads the rank prefix without parsing the rest.
+func keyRank(k []byte) sequence.Rank { return binary.BigEndian.Uint32(k) }
+
+// keyLastID reads the record-id suffix without parsing the tag.
+func keyLastID(k []byte) uint32 { return binary.BigEndian.Uint32(k[len(k)-4:]) }
+
+// tagProbe builds a seek probe positioning at the first block of rank
+// whose tag is >= sf. It omits the id suffix: being a strict prefix of any
+// equal-tag key, it sorts before all of them.
+func tagProbe(rank sequence.Rank, sf []sequence.Rank) []byte {
+	p := make([]byte, 0, 4+sequence.TagLen(len(sf)))
+	p = binary.BigEndian.AppendUint32(p, rank)
+	return sequence.AppendTag(p, sf)
+}
+
+// listStartProbe positions at the first block of rank's list. The empty
+// tag sorts before every real tag of the same rank.
+func listStartProbe(rank sequence.Rank) []byte { return tagProbe(rank, nil) }
+
+// idProbe is the probe payload for id-directed seeks: rank then record id.
+func idProbe(rank sequence.Rank, id uint32) []byte {
+	p := make([]byte, 8)
+	binary.BigEndian.PutUint32(p, rank)
+	binary.BigEndian.PutUint32(p[4:], id)
+	return p
+}
+
+// idProbeCompare orders an idProbe against stored block keys by
+// (rank, lastID), ignoring the tag bytes. Valid because within one rank's
+// key range tag order and lastID order coincide — the OIF's global
+// ordering property. Implements btree.Compare.
+func idProbeCompare(probe, key []byte) int {
+	pr, kr := binary.BigEndian.Uint32(probe), keyRank(key)
+	switch {
+	case pr < kr:
+		return -1
+	case pr > kr:
+		return 1
+	}
+	pid, kid := binary.BigEndian.Uint32(probe[4:]), keyLastID(key)
+	switch {
+	case pid < kid:
+		return -1
+	case pid > kid:
+		return 1
+	}
+	return 0
+}
+
+// Assert idProbeCompare satisfies the btree comparator contract.
+var _ btree.Compare = idProbeCompare

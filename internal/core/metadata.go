@@ -1,0 +1,56 @@
+package core
+
+import "repro/internal/sequence"
+
+// Region is one entry of the paper's metadata table (§3, "Metadata"):
+// the contiguous new-id interval [L, U] of records whose smallest
+// (most frequent) item has this rank (Theorem 1). U1 extends the table as
+// §4.3's footnote suggests: [L, U1] is the sub-interval of cardinality-1
+// records (it sits at the front of the region because the singleton {o}
+// is the lexicographically smallest set starting with o).
+//
+// A zero L denotes an empty region — record ids are 1-based.
+type Region struct {
+	L, U uint32
+	U1   uint32 // last id of the cardinality-1 prefix; L-1 if none
+}
+
+// Empty reports whether no record has this rank as its smallest item.
+func (r Region) Empty() bool { return r.L == 0 }
+
+// ContainsID reports whether id falls inside the region.
+func (r Region) ContainsID(id uint32) bool { return !r.Empty() && id >= r.L && id <= r.U }
+
+// Metadata is the memory-resident metadata table: one region per rank,
+// plus the empty-set region [1, EmptyUpper] that precedes every item
+// region (the paper's order places the empty set first).
+type Metadata struct {
+	EmptyUpper uint32 // ids [1, EmptyUpper] are empty-set records; 0 if none
+	Regions    []Region
+}
+
+func newMetadata(domainSize int) *Metadata {
+	return &Metadata{Regions: make([]Region, domainSize)}
+}
+
+// note records that the record with the given new id has smallest rank
+// first and the given cardinality. Ids must arrive in ascending order —
+// they do, because the builder walks records in new-id order.
+func (m *Metadata) note(first sequence.Rank, id uint32, cardinality int) {
+	r := &m.Regions[first]
+	if r.Empty() {
+		r.L = id
+		r.U1 = id - 1
+	}
+	r.U = id
+	if cardinality == 1 {
+		r.U1 = id
+	}
+}
+
+// noteEmpty records an empty-set record (they precede everything).
+func (m *Metadata) noteEmpty(id uint32) { m.EmptyUpper = id }
+
+// Bytes reports the table's memory footprint (space accounting): three
+// 4-byte ids per region plus the empty bound.
+func (m *Metadata) Bytes() int64 { return int64(len(m.Regions))*12 + 4 }

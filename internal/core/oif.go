@@ -1,0 +1,289 @@
+// Package core implements the paper's contribution: the Ordered Inverted
+// File (OIF). Records are globally re-ordered by the sequence form of
+// their sets under the frequency order <_D and given dense ids in that
+// order; each item's inverted list is cut into tagged blocks indexed in a
+// single disk B+-tree; a memory-resident metadata table replaces each
+// record's posting for its most frequent item with a contiguous id region
+// (§3). Queries compute a Range of Interest and touch only the B-tree
+// blocks that can hold answers (§4).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/btree"
+	"repro/internal/dataset"
+	"repro/internal/sequence"
+	"repro/internal/storage"
+	"repro/internal/vbyte"
+)
+
+// Options configures Build.
+type Options struct {
+	// PageSize of the B-tree file; 0 selects storage.DefaultPageSize.
+	PageSize int
+	// BlockPostings caps the postings per inverted-list block; 0 selects
+	// DefaultBlockPostings. Smaller blocks mean finer pruning but more
+	// B-tree entries (the paper's block size / space trade-off).
+	BlockPostings int
+	// BuildPoolPages sizes the buffer pool used during construction;
+	// 0 selects 1024. Swap in a small pool with SetPool to measure.
+	BuildPoolPages int
+	// TagPrefix truncates block tags to this many leading ranks
+	// (0 keeps full tags). The paper suggests it to shrink keys (§3:
+	// "considering prefixes of the ordered set-values used as tags").
+	// Truncation is sound: prefixes preserve the ordering's <= relation,
+	// so lower-bound seeks can only start earlier and upper-bound stops
+	// can only stop later — trading a few extra block reads for smaller
+	// keys. Query probes are truncated to the same length.
+	TagPrefix int
+	// Pool, when non-nil, receives the index pages instead of a fresh
+	// in-memory pager; its pager must be empty. This is how file-backed
+	// indexes are built (pass a pool over a storage.FilePager).
+	Pool *storage.BufferPool
+}
+
+// DefaultBlockPostings mirrors a block of roughly half a 4 KB page with
+// ~2-byte compressed postings.
+const DefaultBlockPostings = 64
+
+func (o *Options) fill() {
+	if o.PageSize <= 0 {
+		o.PageSize = storage.DefaultPageSize
+	}
+	if o.BlockPostings <= 0 {
+		o.BlockPostings = DefaultBlockPostings
+	}
+	if o.BuildPoolPages <= 0 {
+		o.BuildPoolPages = 1024
+	}
+}
+
+// Index is a built OIF.
+type Index struct {
+	tree *btree.BTree
+	ord  *sequence.Order
+	re   *sequence.Reordered
+	meta *Metadata
+
+	numRecords int
+	domainSize int
+	opts       Options
+
+	// Space accounting.
+	blocks       int64
+	postingBytes int64
+	keyBytes     int64
+	listPostings []int64 // per rank, postings stored in its list
+
+	delta []dataset.Record // §4.4 memory-resident delta, original-id space
+}
+
+// ErrRecordTooWide reports a record whose block key cannot fit a page.
+var ErrRecordTooWide = errors.New("core: record cardinality too large for page size")
+
+// Build constructs the OIF for d.
+func Build(d *dataset.Dataset, opts Options) (*Index, error) {
+	opts.fill()
+	ord := sequence.OrderFromDataset(d)
+	re, err := sequence.Reorder(d, ord)
+	if err != nil {
+		return nil, err
+	}
+	return build(d.Len(), d.DomainSize(), ord, re, opts)
+}
+
+// build assembles the index from a prepared ordering; shared by Build and
+// MergeDelta. Blocks are first assembled per rank in id order and then
+// bulk-loaded into the B-tree in global key order, so every list's blocks
+// occupy physically consecutive leaves — the layout the paper's RoI scans
+// assume (Berkeley DB files built this way show the same locality).
+func build(numRecords, domainSize int, ord *sequence.Order, re *sequence.Reordered, opts Options) (*Index, error) {
+	pool := opts.Pool
+	if pool == nil {
+		pool = storage.NewBufferPool(storage.NewMemPager(opts.PageSize), opts.BuildPoolPages)
+	} else if pool.PageSize() != opts.PageSize && opts.PageSize != storage.DefaultPageSize {
+		return nil, fmt.Errorf("core: Pool page size %d != PageSize %d", pool.PageSize(), opts.PageSize)
+	}
+	opts.PageSize = pool.PageSize()
+	opts.Pool = nil // never reuse across rebuilds (MergeDelta)
+	ix := &Index{
+		ord:          ord,
+		re:           re,
+		meta:         newMetadata(domainSize),
+		numRecords:   numRecords,
+		domainSize:   domainSize,
+		opts:         opts,
+		listPostings: make([]int64, domainSize),
+	}
+
+	// Per-rank pending postings plus finished encoded blocks.
+	type rankBlocks struct {
+		postings []vbyte.Posting
+		keys     [][]byte
+		vals     [][]byte
+	}
+	pend := make([]rankBlocks, domainSize)
+	flush := func(rank sequence.Rank) error {
+		p := &pend[rank]
+		if len(p.postings) == 0 {
+			return nil
+		}
+		last := p.postings[len(p.postings)-1]
+		key := blockKey(rank, ix.truncTag(ix.re.SF(last.ID)), last.ID)
+		val, err := vbyte.AppendPostings(nil, p.postings, 0)
+		if err != nil {
+			return err
+		}
+		p.keys = append(p.keys, key)
+		p.vals = append(p.vals, val)
+		ix.blocks++
+		ix.postingBytes += int64(len(val))
+		ix.keyBytes += int64(len(key))
+		p.postings = p.postings[:0]
+		return nil
+	}
+
+	for id := uint32(1); id <= uint32(numRecords); id++ {
+		sf := re.SF(id)
+		if len(sf) == 0 {
+			ix.meta.noteEmpty(id)
+			continue
+		}
+		ix.meta.note(sf[0], id, len(sf))
+		// The smallest rank is represented only by the metadata region;
+		// every other rank gets a posting (§3: "for every record we avoid
+		// creating a posting for its most frequent item").
+		for _, r := range sf[1:] {
+			p := &pend[r]
+			p.postings = append(p.postings, vbyte.Posting{ID: id, Length: uint32(len(sf))})
+			ix.listPostings[r]++
+			if len(p.postings) >= opts.BlockPostings {
+				if err := flush(r); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for rank := 0; rank < domainSize; rank++ {
+		if err := flush(sequence.Rank(rank)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Bulk-load in (rank, tag, id) order: ranks ascend, and within a rank
+	// blocks were produced in id (= tag) order.
+	curRank, curIdx := 0, 0
+	tree, err := btree.BulkLoad(pool, func() ([]byte, []byte, bool, error) {
+		for curRank < domainSize && curIdx >= len(pend[curRank].keys) {
+			curRank++
+			curIdx = 0
+		}
+		if curRank >= domainSize {
+			return nil, nil, false, nil
+		}
+		k := pend[curRank].keys[curIdx]
+		v := pend[curRank].vals[curIdx]
+		curIdx++
+		return k, v, true, nil
+	}, 90)
+	if err != nil {
+		if errors.Is(err, btree.ErrKeyTooLarge) {
+			return nil, fmt.Errorf("%w: page size %d", ErrRecordTooWide, opts.PageSize)
+		}
+		return nil, err
+	}
+	ix.tree = tree
+	return ix, nil
+}
+
+// truncTag applies the configured TagPrefix to a sequence form.
+func (ix *Index) truncTag(sf []sequence.Rank) []sequence.Rank {
+	if ix.opts.TagPrefix > 0 && len(sf) > ix.opts.TagPrefix {
+		return sf[:ix.opts.TagPrefix]
+	}
+	return sf
+}
+
+// SetPool swaps the measurement buffer pool (same backing pager).
+func (ix *Index) SetPool(pool *storage.BufferPool) error { return ix.tree.SetPool(pool) }
+
+// Pool returns the current buffer pool.
+func (ix *Index) Pool() *storage.BufferPool { return ix.tree.Pool() }
+
+// Order exposes the item order (examples and tests use it).
+func (ix *Index) Order() *sequence.Order { return ix.ord }
+
+// Metadata exposes the metadata table (read-only).
+func (ix *Index) Metadata() *Metadata { return ix.meta }
+
+// NumRecords returns the number of indexed records including the delta.
+func (ix *Index) NumRecords() int { return ix.numRecords + len(ix.delta) }
+
+// DomainSize returns |I|.
+func (ix *Index) DomainSize() int { return ix.domainSize }
+
+// SpaceStats reports the index's storage footprint, matching the
+// quantities discussed in §5 "Space overhead".
+type SpaceStats struct {
+	Blocks       int64 // B-tree entries (one per list block)
+	PostingBytes int64 // compressed postings across all blocks
+	KeyBytes     int64 // total key bytes (item + tag + id)
+	TreePages    int64 // pages allocated by the B-tree file
+	TreeBytes    int64 // TreePages * page size
+	MetaBytes    int64 // memory-resident metadata table
+	MapBytes     int64 // reassignment map (new id <-> original position)
+}
+
+// Space returns the current footprint.
+func (ix *Index) Space() SpaceStats {
+	pages := ix.tree.Pool().Pager().NumPages()
+	return SpaceStats{
+		Blocks:       ix.blocks,
+		PostingBytes: ix.postingBytes,
+		KeyBytes:     ix.keyBytes,
+		TreePages:    pages,
+		TreeBytes:    pages * int64(ix.tree.Pool().PageSize()),
+		MetaBytes:    ix.meta.Bytes(),
+		MapBytes:     ix.re.MapBytes(),
+	}
+}
+
+// origID maps a new id to the original record id (1-based position in the
+// source dataset).
+func (ix *Index) origID(newID uint32) uint32 { return uint32(ix.re.OrigIndex(newID)) + 1 }
+
+// mapToOriginal converts new-id results to sorted original ids and
+// appends matching delta records.
+func (ix *Index) mapToOriginal(newIDs []uint32, q []sequence.Rank, pred deltaPred) []uint32 {
+	out := make([]uint32, 0, len(newIDs))
+	for _, id := range newIDs {
+		out = append(out, ix.origID(id))
+	}
+	out = ix.appendDelta(out, q, pred)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// prepRanks canonicalises a query set: validated, converted to ranks,
+// sorted ascending, deduplicated.
+func (ix *Index) prepRanks(qs []dataset.Item) ([]sequence.Rank, error) {
+	ranks := make([]sequence.Rank, 0, len(qs))
+	for _, it := range qs {
+		r, err := ix.ord.Rank(it)
+		if err != nil {
+			return nil, err
+		}
+		ranks = append(ranks, r)
+	}
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+	out := ranks[:0]
+	for i, r := range ranks {
+		if i == 0 || r != out[len(out)-1] {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

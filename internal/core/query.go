@@ -1,0 +1,390 @@
+package core
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/sequence"
+	"repro/internal/vbyte"
+)
+
+// Query evaluation (§4). All three predicates share the same skeleton:
+// determine the Range of Interest from the query's sequence form, use the
+// B-tree to fetch only the blocks covering it, and merge-join against the
+// shrinking candidate set, finishing with the metadata table for the
+// query's smallest item. Results are returned as sorted original record
+// ids.
+
+// Subset returns the ids of records t with qs ⊆ t.s (Algorithm 1).
+func (ix *Index) Subset(qs []dataset.Item) ([]uint32, error) {
+	q, err := ix.prepRanks(qs)
+	if err != nil {
+		return nil, err
+	}
+	n := len(q)
+	if n == 0 {
+		// Every record contains the empty set.
+		all := make([]uint32, 0, ix.numRecords)
+		for id := uint32(1); id <= uint32(ix.numRecords); id++ {
+			all = append(all, id)
+		}
+		return ix.mapToOriginal(all, nil, predContainsAll), nil
+	}
+	if n == 1 {
+		ids, err := ix.collectWholeList(q[0])
+		if err != nil {
+			return nil, err
+		}
+		// The metadata region holds the list's suffix: records whose
+		// smallest item is q[0]. Region ids all exceed list ids.
+		reg := ix.meta.Regions[q[0]]
+		for id := reg.L; !reg.Empty() && id <= reg.U; id++ {
+			ids = append(ids, id)
+		}
+		return ix.mapToOriginal(ids, q, predContainsAll), nil
+	}
+
+	// RoI_sub (Def. 2): lower bound is the full run of ranks up to the
+	// query's largest; upper is the query followed by the largest rank.
+	lower := consecutiveRanks(0, q[n-1])
+	upper := q
+	if maxR := ix.ord.MaxRank(); q[n-1] != maxR {
+		upper = append(append([]sequence.Rank{}, q...), maxR)
+	}
+
+	// Candidates from the least frequent item's list, RoI-bounded. Records
+	// shorter than the query can never qualify.
+	var cands []uint32
+	lc, err := ix.seekTag(q[n-1], lower)
+	if err != nil {
+		return nil, err
+	}
+	var buf []vbyte.Posting
+	for lc.valid {
+		buf, err = lc.postings(buf[:0])
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range buf {
+			if p.Length >= uint32(n) {
+				cands = append(cands, p.ID)
+			}
+		}
+		if lc.pastUpper(upper) {
+			break
+		}
+		if err := lc.next(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Join against the remaining lists, least frequent first, probing by
+	// candidate id so only blocks inside [min-candidate, max-candidate]
+	// are touched.
+	for i := n - 2; i >= 1 && len(cands) > 0; i-- {
+		cands, err = ix.filterByList(q[i], cands)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(cands) == 0 {
+		return ix.mapToOriginal(nil, q, predContainsAll), nil
+	}
+
+	// The smallest item: candidates inside its metadata region contain it
+	// by construction; candidates beyond the region's end cannot contain
+	// it (Theorem 1); the rest must appear in its (shortened) list.
+	reg := ix.meta.Regions[q[0]]
+	var confirmed, toCheck []uint32
+	for _, id := range cands {
+		switch {
+		case reg.ContainsID(id):
+			confirmed = append(confirmed, id)
+		case !reg.Empty() && id > reg.U:
+			// discard
+		default:
+			toCheck = append(toCheck, id)
+		}
+	}
+	checked, err := ix.filterByList(q[0], toCheck)
+	if err != nil {
+		return nil, err
+	}
+	// toCheck ids all precede region ids, so concatenation stays sorted.
+	result := append(checked, confirmed...)
+	return ix.mapToOriginal(result, q, predContainsAll), nil
+}
+
+// Equality returns the ids of records t with t.s = qs (§4.2).
+func (ix *Index) Equality(qs []dataset.Item) ([]uint32, error) {
+	q, err := ix.prepRanks(qs)
+	if err != nil {
+		return nil, err
+	}
+	n := len(q)
+	if n == 0 {
+		var ids []uint32
+		for id := uint32(1); id <= ix.meta.EmptyUpper; id++ {
+			ids = append(ids, id)
+		}
+		return ix.mapToOriginal(ids, q, predEqual), nil
+	}
+	reg := ix.meta.Regions[q[0]]
+	if reg.Empty() {
+		return ix.mapToOriginal(nil, q, predEqual), nil
+	}
+	if n == 1 {
+		// All answers are the cardinality-1 prefix of the region; the
+		// inverted list is never touched.
+		var ids []uint32
+		for id := reg.L; id <= reg.U1; id++ {
+			ids = append(ids, id)
+		}
+		return ix.mapToOriginal(ids, q, predEqual), nil
+	}
+
+	// RoI_eq is the single point qs (Def. 3). Scan the least frequent
+	// item's list from the first block with tag >= qs until the first
+	// block with tag > qs; duplicates of qs may span several blocks.
+	var cands []uint32
+	lc, err := ix.seekTag(q[n-1], q)
+	if err != nil {
+		return nil, err
+	}
+	var buf []vbyte.Posting
+	for lc.valid {
+		buf, err = lc.postings(buf[:0])
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range buf {
+			// Length filter (§2 extension) plus the region of the smallest
+			// item: answers have smallest rank q[0] by definition.
+			if p.Length == uint32(n) && reg.ContainsID(p.ID) {
+				cands = append(cands, p.ID)
+			}
+		}
+		if lc.pastUpper(q) {
+			break
+		}
+		if err := lc.next(); err != nil {
+			return nil, err
+		}
+	}
+	for i := n - 2; i >= 1 && len(cands) > 0; i-- {
+		cands, err = ix.filterByList(q[i], cands)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// No access to q[0]'s list: membership in its metadata region plus
+	// length n plus containment of q[1..n-1] pins the set to exactly qs.
+	return ix.mapToOriginal(cands, q, predEqual), nil
+}
+
+// Superset returns the ids of records t with t.s ⊆ qs (Algorithm 2).
+func (ix *Index) Superset(qs []dataset.Item) ([]uint32, error) {
+	q, err := ix.prepRanks(qs)
+	if err != nil {
+		return nil, err
+	}
+	n := len(q)
+
+	// Empty-set records satisfy every superset query.
+	var results []uint32
+	for id := uint32(1); id <= ix.meta.EmptyUpper; id++ {
+		results = append(results, id)
+	}
+
+	type scand struct {
+		id     uint32
+		length uint32
+		found  uint32
+	}
+	var cands []scand
+	var buf []vbyte.Posting
+
+	for i := n - 1; i >= 0; i-- {
+		// Gather this item's RoI postings across its per-j regions
+		// (Def. 4), deduplicated by a monotonic id filter — regions
+		// ascend in id space and boundary blocks may straddle them. The
+		// cursor carries over between regions when the current block
+		// already covers the next region's start (Algorithm 2, lines
+		// 21-22: "checks if this RoI is not already included in the
+		// previously retrieved block").
+		var incoming []vbyte.Posting
+		lastSeen := uint32(0)
+		var lc *listCursor
+		for j := 0; j < i; j++ {
+			lower := q[j : i+1]
+			upper := boundSet(q[j], q[i], q[n-1])
+			switch {
+			case lc == nil:
+				lc, err = ix.seekTag(q[i], lower)
+				if err != nil {
+					return nil, err
+				}
+			case !lc.valid:
+				// The list is exhausted; no later region can match.
+				j = i
+				continue
+			case sequence.Compare(lc.tag, lower) < 0:
+				lc, err = ix.seekTag(q[i], lower)
+				if err != nil {
+					return nil, err
+				}
+			}
+			for lc.valid {
+				buf, err = lc.postings(buf[:0])
+				if err != nil {
+					return nil, err
+				}
+				for _, p := range buf {
+					if p.ID <= lastSeen {
+						continue
+					}
+					lastSeen = p.ID
+					// Records longer than the query can never qualify.
+					if p.Length <= uint32(n) {
+						incoming = append(incoming, p)
+					}
+				}
+				if lc.pastUpper(upper) {
+					break
+				}
+				if err := lc.next(); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		// Merge incoming postings into the candidate set. A new record is
+		// admitted only if its remaining unexamined items (q[0..i-1] plus
+		// this one) can still cover its whole set: length <= i+1
+		// (Algorithm 2, line 14).
+		merged := make([]scand, 0, len(cands)+len(incoming))
+		a, b := 0, 0
+		for a < len(cands) || b < len(incoming) {
+			switch {
+			case b == len(incoming) || (a < len(cands) && cands[a].id < incoming[b].ID):
+				merged = append(merged, cands[a])
+				a++
+			case a == len(cands) || incoming[b].ID < cands[a].id:
+				if incoming[b].Length <= uint32(i+1) {
+					merged = append(merged, scand{id: incoming[b].ID, length: incoming[b].Length, found: 1})
+				}
+				b++
+			default: // same id: one more of the record's items is in qs
+				c := cands[a]
+				c.found++
+				merged = append(merged, c)
+				a++
+				b++
+			}
+		}
+		cands = merged
+
+		// The item's final region lives in the metadata table, not the
+		// list (Def. 4's last range; Algorithm 2 lines 22-24).
+		reg := ix.meta.Regions[q[i]]
+		if !reg.Empty() {
+			// Cardinality-1 records {q[i]} are answers outright.
+			for id := reg.L; id <= reg.U1; id++ {
+				results = append(results, id)
+			}
+			// Other region residents contain q[i]: bump their counters.
+			for a := range cands {
+				if cands[a].id > reg.U1 && cands[a].id <= reg.U {
+					cands[a].found++
+				}
+			}
+		}
+
+		// Sweep: emit completed candidates, discard unreachable ones
+		// (Algorithm 2, lines 10-11 and 18-20). After this item, each of
+		// the i remaining items can contribute at most one match.
+		kept := cands[:0]
+		for _, c := range cands {
+			switch {
+			case c.found == c.length:
+				results = append(results, c.id)
+			case c.length-c.found > uint32(i):
+				// unreachable: drop
+			default:
+				kept = append(kept, c)
+			}
+		}
+		cands = kept
+	}
+	return ix.mapToOriginal(results, q, predSubsetOf), nil
+}
+
+// collectWholeList returns every posting id in rank's list, ascending.
+func (ix *Index) collectWholeList(rank sequence.Rank) ([]uint32, error) {
+	lc, err := ix.seekTag(rank, nil)
+	if err != nil {
+		return nil, err
+	}
+	var ids []uint32
+	var buf []vbyte.Posting
+	for lc.valid {
+		buf, err = lc.postings(buf[:0])
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range buf {
+			ids = append(ids, p.ID)
+		}
+		if err := lc.next(); err != nil {
+			return nil, err
+		}
+	}
+	return ids, nil
+}
+
+// filterByList keeps the candidates (sorted new ids) that appear in
+// rank's inverted list, probing the B-tree by candidate id so only blocks
+// between the smallest and largest candidate are read — the progressive
+// range restriction of Algorithm 1, line 15.
+func (ix *Index) filterByList(rank sequence.Rank, cands []uint32) ([]uint32, error) {
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	out := cands[:0]
+	var buf []vbyte.Posting
+	lc, err := ix.seekID(rank, cands[0])
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for i < len(cands) && lc.valid {
+		buf, err = lc.postings(buf[:0])
+		if err != nil {
+			return nil, err
+		}
+		j := 0
+		for i < len(cands) && cands[i] <= lc.lastID {
+			for j < len(buf) && buf[j].ID < cands[i] {
+				j++
+			}
+			if j < len(buf) && buf[j].ID == cands[i] {
+				out = append(out, cands[i])
+			}
+			i++
+		}
+		if i >= len(cands) {
+			break
+		}
+		// Advance: the adjacent block is one (usually sequential) page
+		// away, so try it first; if the next candidate lies beyond it,
+		// jump with an id-directed seek instead.
+		if err := lc.next(); err != nil {
+			return nil, err
+		}
+		if lc.valid && lc.lastID < cands[i] {
+			lc, err = ix.seekID(rank, cands[i])
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"repro/internal/storage"
+)
+
+// NewReader returns an independent query handle over the same index
+// pages. An Index is not safe for concurrent use because queries mutate
+// the buffer pool (frames, LRU order, statistics); the pages themselves
+// are immutable once built, so a reader with its own pool of the given
+// capacity can run queries in parallel with the parent and with other
+// readers.
+//
+// The reader shares the parent's delta snapshot: inserts made on the
+// parent after NewReader are invisible to the reader (create a fresh
+// reader after MergeDelta). Readers must not Insert, MergeDelta, Save,
+// or SetPool.
+func (ix *Index) NewReader(poolPages int) (*Reader, error) {
+	pool := storage.NewBufferPool(ix.tree.Pool().Pager(), poolPages)
+	view, err := ix.tree.View(pool)
+	if err != nil {
+		return nil, err
+	}
+	clone := *ix
+	clone.tree = view
+	// Freeze the delta at its current extent; the parent appends only.
+	clone.delta = ix.delta[:len(ix.delta):len(ix.delta)]
+	return &Reader{ix: &clone, pool: pool}, nil
+}
+
+// Reader is a concurrency-safe-by-isolation query handle produced by
+// NewReader. Each reader owns its cache; use one per goroutine.
+type Reader struct {
+	ix   *Index
+	pool *storage.BufferPool
+}
+
+// Subset answers like Index.Subset.
+func (r *Reader) Subset(qs []uint32) ([]uint32, error) { return r.ix.Subset(qs) }
+
+// Equality answers like Index.Equality.
+func (r *Reader) Equality(qs []uint32) ([]uint32, error) { return r.ix.Equality(qs) }
+
+// Superset answers like Index.Superset.
+func (r *Reader) Superset(qs []uint32) ([]uint32, error) { return r.ix.Superset(qs) }
+
+// Stats returns this reader's private access statistics.
+func (r *Reader) Stats() storage.AccessStats { return r.pool.Stats() }
+
+// ResetStats zeroes this reader's statistics.
+func (r *Reader) ResetStats() { r.pool.ResetStats() }

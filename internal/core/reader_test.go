@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/naive"
+)
+
+// TestConcurrentReaders hammers one index from many goroutines through
+// per-goroutine readers; run with -race to verify isolation.
+func TestConcurrentReaders(t *testing.T) {
+	d, err := dataset.GenerateSynthetic(dataset.SyntheticConfig{
+		NumRecords: 4000, DomainSize: 60, MinLen: 1, MaxLen: 8, ZipfTheta: 0.8, Seed: 91,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(d, Options{PageSize: 512, BlockPostings: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const queriesPer = 60
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		reader, err := ix.NewReader(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(seed int64, r *Reader) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < queriesPer; i++ {
+				k := 1 + rng.Intn(5)
+				qs := make([]dataset.Item, k)
+				for j := range qs {
+					qs[j] = dataset.Item(rng.Intn(60))
+				}
+				var got []uint32
+				var want []uint32
+				var err error
+				switch i % 3 {
+				case 0:
+					got, err = r.Subset(qs)
+					want = naive.Subset(d, qs)
+				case 1:
+					got, err = r.Equality(qs)
+					want = naive.Equality(d, qs)
+				default:
+					got, err = r.Superset(qs)
+					want = naive.Superset(d, qs)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !equalIDs(got, want) {
+					errs <- &mismatchError{qs: qs}
+					return
+				}
+			}
+		}(int64(g), reader)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type mismatchError struct{ qs []dataset.Item }
+
+func (e *mismatchError) Error() string { return "concurrent reader diverged from oracle" }
+
+// TestReaderDeltaSnapshot pins the visibility contract: inserts after
+// NewReader are invisible to the existing reader, visible to a new one.
+func TestReaderDeltaSnapshot(t *testing.T) {
+	d := dataset.New(5)
+	d.Add([]dataset.Item{0, 1})
+	ix, err := Build(d, Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := ix.NewReader(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Insert([]dataset.Item{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := old.Subset([]dataset.Item{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("old reader sees %d answers, want the pre-insert 1", len(got))
+	}
+	fresh, err := ix.NewReader(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = fresh.Subset([]dataset.Item{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("fresh reader sees %d answers, want 2", len(got))
+	}
+}
+
+// TestReaderStatsIsolated verifies readers meter independently.
+func TestReaderStatsIsolated(t *testing.T) {
+	d, err := dataset.GenerateSynthetic(dataset.SyntheticConfig{
+		NumRecords: 2000, DomainSize: 40, MinLen: 2, MaxLen: 6, ZipfTheta: 0.8, Seed: 92,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(d, Options{PageSize: 512, BlockPostings: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ix.NewReader(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ix.NewReader(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Subset([]dataset.Item{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats().Misses == 0 {
+		t.Fatal("reader a recorded nothing")
+	}
+	if b.Stats().Misses != 0 {
+		t.Fatal("reader b's stats polluted by reader a")
+	}
+	a.ResetStats()
+	if a.Stats().Misses != 0 {
+		t.Fatal("reset failed")
+	}
+}

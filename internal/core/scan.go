@@ -1,0 +1,118 @@
+package core
+
+import (
+	"repro/internal/btree"
+	"repro/internal/sequence"
+	"repro/internal/vbyte"
+)
+
+// listCursor walks the blocks of one rank's inverted list in id order,
+// decoding keys lazily. It becomes invalid when the underlying B-tree
+// cursor leaves the rank's key range.
+type listCursor struct {
+	ix    *Index
+	rank  sequence.Rank
+	cur   *btree.Cursor
+	valid bool
+
+	tag    []sequence.Rank
+	lastID uint32
+}
+
+// seekTag positions at the first block of rank whose tag >= sf. With a
+// configured TagPrefix both the stored tags and the probe are truncated;
+// prefix truncation preserves <=, so the seek lands at or before the true
+// lower bound (see Options.TagPrefix).
+func (ix *Index) seekTag(rank sequence.Rank, sf []sequence.Rank) (*listCursor, error) {
+	cur, err := ix.tree.Seek(tagProbe(rank, ix.truncTag(sf)), btree.BytewiseCompare)
+	if err != nil {
+		return nil, err
+	}
+	lc := &listCursor{ix: ix, rank: rank, cur: cur}
+	return lc, lc.load()
+}
+
+// seekID positions at the first block of rank whose lastID >= id, i.e.
+// the block that would contain record id.
+func (ix *Index) seekID(rank sequence.Rank, id uint32) (*listCursor, error) {
+	cur, err := ix.tree.Seek(idProbe(rank, id), idProbeCompare)
+	if err != nil {
+		return nil, err
+	}
+	lc := &listCursor{ix: ix, rank: rank, cur: cur}
+	return lc, lc.load()
+}
+
+// load parses the current B-tree entry, invalidating the cursor if it has
+// moved past this rank's list.
+func (lc *listCursor) load() error {
+	if !lc.cur.Valid() {
+		lc.valid = false
+		return nil
+	}
+	rank, tag, lastID, err := parseKey(lc.cur.Key())
+	if err != nil {
+		return err
+	}
+	if rank != lc.rank {
+		lc.valid = false
+		return nil
+	}
+	lc.tag = tag
+	lc.lastID = lastID
+	lc.valid = true
+	return nil
+}
+
+// next advances to the following block of the same list.
+func (lc *listCursor) next() error {
+	if !lc.valid {
+		return nil
+	}
+	if err := lc.cur.Next(); err != nil {
+		return err
+	}
+	return lc.load()
+}
+
+// postings decodes the current block into out.
+func (lc *listCursor) postings(out []vbyte.Posting) ([]vbyte.Posting, error) {
+	return vbyte.DecodePostings(lc.cur.Value(), 0, out)
+}
+
+// pastUpper reports whether the current block's tag is strictly beyond the
+// RoI upper bound — the block is still processed (it may hold boundary
+// records), but the scan stops after it (§4: "the tag of the last one must
+// be strictly greater than the greater bound of the RoI"). Stored tags may
+// be prefix-truncated, so the bound is truncated to match: a truncated tag
+// exceeding the truncated bound implies the full tag exceeds the full
+// bound, and ties keep scanning (never stopping early).
+func (lc *listCursor) pastUpper(upper []sequence.Rank) bool {
+	return sequence.Compare(lc.tag, lc.ix.truncTag(upper)) > 0
+}
+
+// consecutiveRanks returns the sequence (from, from+1, ..., to).
+func consecutiveRanks(from, to sequence.Rank) []sequence.Rank {
+	out := make([]sequence.Rank, 0, to-from+1)
+	for r := from; ; r++ {
+		out = append(out, r)
+		if r == to {
+			break
+		}
+	}
+	return out
+}
+
+// boundSet returns the sorted set {a, b, c} with duplicates collapsed —
+// used for RoI upper bounds like (q_j, q_i, q_n) whose components may
+// coincide.
+func boundSet(a, b, c sequence.Rank) []sequence.Rank {
+	out := []sequence.Rank{a}
+	if b != a {
+		out = append(out, b)
+	}
+	if c != out[len(out)-1] {
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/naive"
+	"repro/internal/storage"
+)
+
+// TestTagPrefixCorrectness verifies every predicate against the oracle
+// for a range of prefix lengths, including aggressive truncation.
+func TestTagPrefixCorrectness(t *testing.T) {
+	d, err := dataset.GenerateSynthetic(dataset.SyntheticConfig{
+		NumRecords: 3000, DomainSize: 60, MinLen: 1, MaxLen: 9, ZipfTheta: 0.9, Seed: 55,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prefix := range []int{1, 2, 4, 8} {
+		ix, err := Build(d, Options{PageSize: 512, BlockPostings: 8, TagPrefix: prefix})
+		if err != nil {
+			t.Fatalf("prefix %d: %v", prefix, err)
+		}
+		rng := rand.New(rand.NewSource(56))
+		for trial := 0; trial < 120; trial++ {
+			k := 1 + rng.Intn(5)
+			qs := make([]dataset.Item, k)
+			for i := range qs {
+				qs[i] = dataset.Item(rng.Intn(60))
+			}
+			got, err := ix.Subset(qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := naive.Subset(d, qs); !equalIDs(got, want) {
+				t.Fatalf("prefix %d: Subset(%v) = %v, want %v", prefix, qs, got, want)
+			}
+			got, err = ix.Equality(qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := naive.Equality(d, qs); !equalIDs(got, want) {
+				t.Fatalf("prefix %d: Equality(%v) = %v, want %v", prefix, qs, got, want)
+			}
+			got, err = ix.Superset(qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := naive.Superset(d, qs); !equalIDs(got, want) {
+				t.Fatalf("prefix %d: Superset(%v) = %v, want %v", prefix, qs, got, want)
+			}
+		}
+	}
+}
+
+// TestTagPrefixShrinksKeys pins the intended effect: shorter prefixes,
+// smaller keys, smaller tree — at some cost in extra block reads.
+func TestTagPrefixShrinksKeys(t *testing.T) {
+	d, err := dataset.GenerateSynthetic(dataset.SyntheticConfig{
+		NumRecords: 20000, DomainSize: 200, MinLen: 4, MaxLen: 16, ZipfTheta: 0.8, Seed: 57,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Build(d, Options{PageSize: 4096, BlockPostings: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc, err := Build(d, Options{PageSize: 4096, BlockPostings: 64, TagPrefix: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trunc.Space().KeyBytes >= full.Space().KeyBytes {
+		t.Fatalf("prefix keys %d >= full keys %d", trunc.Space().KeyBytes, full.Space().KeyBytes)
+	}
+	if trunc.Space().TreePages > full.Space().TreePages {
+		t.Fatalf("prefix tree %d pages > full tree %d", trunc.Space().TreePages, full.Space().TreePages)
+	}
+
+	// Equality point lookups stay cheap even with 2-rank tags.
+	pool := storage.NewBufferPool(trunc.Pool().Pager(), 8)
+	if err := trunc.SetPool(pool); err != nil {
+		t.Fatal(err)
+	}
+	r := d.Record(777)
+	pool.ResetStats()
+	got, err := trunc.Equality(r.Set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("lost the record")
+	}
+	if misses := pool.Stats().Misses; misses > int64(len(r.Set)*8+16) {
+		t.Fatalf("equality with truncated tags cost %d pages", misses)
+	}
+}
+
+// TestTagPrefixSnapshotRoundTrip ensures the option survives Save/Load.
+func TestTagPrefixSnapshotRoundTrip(t *testing.T) {
+	d, err := dataset.GenerateSynthetic(dataset.SyntheticConfig{
+		NumRecords: 800, DomainSize: 40, MinLen: 2, MaxLen: 8, ZipfTheta: 0.8, Seed: 58,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(d, Options{PageSize: 512, BlockPostings: 8, TagPrefix: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := d.Record(10).Set
+	a, err := ix.Subset(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Subset(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(a, b) {
+		t.Fatal("truncated-tag index diverged after reload")
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/sequence"
+)
+
+// Updates (§4.4). New records accumulate in a memory-resident delta that
+// queries consult alongside the disk index; MergeDelta folds them in.
+// Unlike the IF — which merely appends postings — the OIF must re-sort
+// the whole database to assign fresh ids, which is why the paper reports
+// OIF updates costing ~3-5x an IF update. MergeDelta therefore performs a
+// full rebuild from the index's own sequence arena plus the delta.
+
+type deltaPred int
+
+const (
+	predContainsAll deltaPred = iota // record ⊇ query
+	predEqual                        // record = query
+	predSubsetOf                     // record ⊆ query
+)
+
+// appendDelta adds matching delta-record ids (original-id space).
+func (ix *Index) appendDelta(ids []uint32, q []sequence.Rank, pred deltaPred) []uint32 {
+	if len(ix.delta) == 0 {
+		return ids
+	}
+	items := ix.ord.Set(q)
+	for _, r := range ix.delta {
+		var ok bool
+		switch pred {
+		case predContainsAll:
+			ok = r.ContainsAll(items)
+		case predEqual:
+			ok = r.EqualSet(items)
+		default:
+			ok = r.SubsetOf(items)
+		}
+		if ok {
+			ids = append(ids, r.ID)
+		}
+	}
+	return ids
+}
+
+// Insert adds a record to the delta and returns its (original-space) id.
+func (ix *Index) Insert(set []dataset.Item) (uint32, error) {
+	cp := append([]dataset.Item(nil), set...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	dedup := cp[:0]
+	for i, v := range cp {
+		if int(v) >= ix.domainSize {
+			return 0, fmt.Errorf("core: item %d outside domain %d", v, ix.domainSize)
+		}
+		if i == 0 || v != dedup[len(dedup)-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	id := uint32(ix.NumRecords() + 1)
+	ix.delta = append(ix.delta, dataset.Record{ID: id, Set: dedup})
+	return id, nil
+}
+
+// DeltaLen returns the number of unmerged inserted records.
+func (ix *Index) DeltaLen() int { return len(ix.delta) }
+
+// MergeDelta rebuilds the index over the union of the indexed records and
+// the delta: supports are recounted (the order may shift), records are
+// re-sorted, ids reassigned, blocks and metadata rebuilt — the full §4.4
+// OIF update cost.
+func (ix *Index) MergeDelta() error {
+	if len(ix.delta) == 0 {
+		return nil
+	}
+	// Reconstruct the source dataset in original-id order from the
+	// sequence arena, then append the delta.
+	d := dataset.New(ix.domainSize)
+	sets := make([][]dataset.Item, ix.numRecords)
+	for newID := uint32(1); newID <= uint32(ix.numRecords); newID++ {
+		sets[ix.re.OrigIndex(newID)] = ix.ord.Set(ix.re.SF(newID))
+	}
+	for _, set := range sets {
+		if _, err := d.Add(set); err != nil {
+			return err
+		}
+	}
+	for _, r := range ix.delta {
+		if _, err := d.Add(r.Set); err != nil {
+			return err
+		}
+	}
+	rebuilt, err := Build(d, ix.opts)
+	if err != nil {
+		return err
+	}
+	*ix = *rebuilt
+	return nil
+}

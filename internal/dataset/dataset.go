@@ -1,0 +1,193 @@
+// Package dataset models collections of set-valued records — the database
+// D of the paper (§2): each record has a unique id and a set-valued
+// attribute drawn from a finite vocabulary I. It also provides the data
+// generators used by the experiments: the synthetic Zipfian generator of
+// §5 and statistical twins of the two UCI KDD logs (msweb, msnbc) that the
+// paper evaluates on.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Item is a vocabulary element, identified by a dense uint32 in
+// [0, DomainSize).
+type Item = uint32
+
+// Record is one database entry: a 1-based id plus its set, kept sorted
+// ascending by item id with no duplicates.
+type Record struct {
+	ID  uint32
+	Set []Item
+}
+
+// Dataset is an in-memory collection of records over a fixed vocabulary.
+type Dataset struct {
+	domainSize int
+	records    []Record
+	labels     []string // optional item labels, len 0 or domainSize
+}
+
+// New returns an empty dataset over items [0, domainSize).
+func New(domainSize int) *Dataset {
+	if domainSize < 0 {
+		domainSize = 0
+	}
+	return &Dataset{domainSize: domainSize}
+}
+
+// DomainSize returns |I|.
+func (d *Dataset) DomainSize() int { return d.domainSize }
+
+// Len returns |D|.
+func (d *Dataset) Len() int { return len(d.records) }
+
+// Record returns the i-th record (0-based position, not id).
+func (d *Dataset) Record(i int) Record { return d.records[i] }
+
+// Records returns the backing record slice; callers must not mutate it.
+func (d *Dataset) Records() []Record { return d.records }
+
+// ErrItemOutOfDomain reports a set item outside the vocabulary.
+var ErrItemOutOfDomain = errors.New("dataset: item outside domain")
+
+// Add appends a record with the given set and returns its id. The set is
+// copied, sorted and deduplicated; empty sets are allowed (the paper's
+// order places the empty set first, and our OIF indexes it in a dedicated
+// metadata region).
+func (d *Dataset) Add(set []Item) (uint32, error) {
+	cp := make([]Item, len(set))
+	copy(cp, set)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	cp = dedupSorted(cp)
+	for _, it := range cp {
+		if int(it) >= d.domainSize {
+			return 0, fmt.Errorf("%w: item %d, domain %d", ErrItemOutOfDomain, it, d.domainSize)
+		}
+	}
+	id := uint32(len(d.records) + 1)
+	d.records = append(d.records, Record{ID: id, Set: cp})
+	return id, nil
+}
+
+func dedupSorted(s []Item) []Item {
+	if len(s) < 2 {
+		return s
+	}
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SetLabels attaches human-readable item labels (len must be DomainSize).
+func (d *Dataset) SetLabels(labels []string) error {
+	if len(labels) != d.domainSize {
+		return fmt.Errorf("dataset: %d labels for domain %d", len(labels), d.domainSize)
+	}
+	d.labels = labels
+	return nil
+}
+
+// Label returns the label of item it, or its decimal form if unlabeled.
+func (d *Dataset) Label(it Item) string {
+	if int(it) < len(d.labels) {
+		return d.labels[it]
+	}
+	return fmt.Sprintf("%d", it)
+}
+
+// Support returns s(o) for every item: how many records contain it
+// (Eq. 1's support function).
+func (d *Dataset) Support() []int64 {
+	sup := make([]int64, d.domainSize)
+	for _, r := range d.records {
+		for _, it := range r.Set {
+			sup[it]++
+		}
+	}
+	return sup
+}
+
+// Stats summarises the collection.
+type Stats struct {
+	NumRecords    int
+	DomainSize    int
+	TotalPostings int64   // sum of cardinalities
+	AvgCardinal   float64 // the paper's "average record length l"
+	MaxCardinal   int
+	EmptyRecords  int
+}
+
+// ComputeStats scans the dataset once.
+func (d *Dataset) ComputeStats() Stats {
+	s := Stats{NumRecords: len(d.records), DomainSize: d.domainSize}
+	for _, r := range d.records {
+		s.TotalPostings += int64(len(r.Set))
+		if len(r.Set) > s.MaxCardinal {
+			s.MaxCardinal = len(r.Set)
+		}
+		if len(r.Set) == 0 {
+			s.EmptyRecords++
+		}
+	}
+	if s.NumRecords > 0 {
+		s.AvgCardinal = float64(s.TotalPostings) / float64(s.NumRecords)
+	}
+	return s
+}
+
+// Contains reports whether record r's set contains item it.
+func (r Record) Contains(it Item) bool {
+	i := sort.Search(len(r.Set), func(i int) bool { return r.Set[i] >= it })
+	return i < len(r.Set) && r.Set[i] == it
+}
+
+// ContainsAll reports whether r's set is a superset of qs (qs must be
+// sorted ascending).
+func (r Record) ContainsAll(qs []Item) bool {
+	i := 0
+	for _, q := range qs {
+		for i < len(r.Set) && r.Set[i] < q {
+			i++
+		}
+		if i == len(r.Set) || r.Set[i] != q {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// SubsetOf reports whether r's set is a subset of qs (sorted ascending).
+func (r Record) SubsetOf(qs []Item) bool {
+	j := 0
+	for _, it := range r.Set {
+		for j < len(qs) && qs[j] < it {
+			j++
+		}
+		if j == len(qs) || qs[j] != it {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// EqualSet reports whether r's set equals qs (sorted ascending).
+func (r Record) EqualSet(qs []Item) bool {
+	if len(r.Set) != len(qs) {
+		return false
+	}
+	for i := range qs {
+		if r.Set[i] != qs[i] {
+			return false
+		}
+	}
+	return true
+}

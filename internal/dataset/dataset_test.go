@@ -1,0 +1,430 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSortsAndDedups(t *testing.T) {
+	d := New(10)
+	id, err := d.Add([]Item{5, 1, 3, 1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Fatalf("first id = %d, want 1", id)
+	}
+	r := d.Record(0)
+	want := []Item{1, 3, 5}
+	if len(r.Set) != len(want) {
+		t.Fatalf("set = %v, want %v", r.Set, want)
+	}
+	for i := range want {
+		if r.Set[i] != want[i] {
+			t.Fatalf("set = %v, want %v", r.Set, want)
+		}
+	}
+}
+
+func TestAddRejectsOutOfDomain(t *testing.T) {
+	d := New(4)
+	if _, err := d.Add([]Item{0, 4}); err == nil {
+		t.Fatal("item 4 accepted in domain of 4")
+	}
+}
+
+func TestAddEmptySet(t *testing.T) {
+	d := New(4)
+	if _, err := d.Add(nil); err != nil {
+		t.Fatalf("empty set rejected: %v", err)
+	}
+	if got := d.ComputeStats().EmptyRecords; got != 1 {
+		t.Fatalf("EmptyRecords = %d", got)
+	}
+}
+
+func TestSupport(t *testing.T) {
+	d := New(4)
+	mustAdd(t, d, []Item{0, 1})
+	mustAdd(t, d, []Item{0, 2})
+	mustAdd(t, d, []Item{0})
+	sup := d.Support()
+	want := []int64{3, 1, 1, 0}
+	for i := range want {
+		if sup[i] != want[i] {
+			t.Fatalf("support = %v, want %v", sup, want)
+		}
+	}
+}
+
+func mustAdd(t *testing.T, d *Dataset, set []Item) uint32 {
+	t.Helper()
+	id, err := d.Add(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestRecordPredicates(t *testing.T) {
+	d := New(10)
+	mustAdd(t, d, []Item{1, 3, 5, 7})
+	r := d.Record(0)
+	if !r.Contains(3) || r.Contains(4) {
+		t.Fatal("Contains wrong")
+	}
+	if !r.ContainsAll([]Item{1, 5}) {
+		t.Fatal("ContainsAll({1,5}) = false")
+	}
+	if r.ContainsAll([]Item{1, 2}) {
+		t.Fatal("ContainsAll({1,2}) = true")
+	}
+	if !r.SubsetOf([]Item{0, 1, 2, 3, 4, 5, 6, 7}) {
+		t.Fatal("SubsetOf(superset) = false")
+	}
+	if r.SubsetOf([]Item{1, 3, 5}) {
+		t.Fatal("SubsetOf(smaller) = true")
+	}
+	if !r.EqualSet([]Item{1, 3, 5, 7}) || r.EqualSet([]Item{1, 3, 5}) {
+		t.Fatal("EqualSet wrong")
+	}
+}
+
+func TestRecordPredicatesAgainstMaps(t *testing.T) {
+	// Property check: the sorted-merge predicates agree with map logic.
+	f := func(setRaw, qsRaw []uint8) bool {
+		set := make([]Item, len(setRaw))
+		for i, v := range setRaw {
+			set[i] = Item(v % 32)
+		}
+		qs := make([]Item, len(qsRaw))
+		for i, v := range qsRaw {
+			qs[i] = Item(v % 32)
+		}
+		d := New(32)
+		d.Add(set)
+		r := d.Record(0)
+		qs = normalize(qs)
+		inQS := make(map[Item]bool)
+		for _, q := range qs {
+			inQS[q] = true
+		}
+		inSet := make(map[Item]bool)
+		for _, s := range r.Set {
+			inSet[s] = true
+		}
+		wantAll := true
+		for _, q := range qs {
+			if !inSet[q] {
+				wantAll = false
+			}
+		}
+		wantSub := true
+		for _, s := range r.Set {
+			if !inQS[s] {
+				wantSub = false
+			}
+		}
+		return r.ContainsAll(qs) == wantAll && r.SubsetOf(qs) == wantSub
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func normalize(s []Item) []Item {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return dedupSorted(s)
+}
+
+func TestZipfProbabilities(t *testing.T) {
+	z := NewZipf(4, 1.0)
+	// Weights 1, 1/2, 1/3, 1/4 -> normalised.
+	h := 1 + 0.5 + 1.0/3 + 0.25
+	want := []float64{1 / h, 0.5 / h, (1.0 / 3) / h, 0.25 / h}
+	for i, w := range want {
+		if got := z.Probability(Item(i)); math.Abs(got-w) > 1e-12 {
+			t.Errorf("P(%d) = %f, want %f", i, got, w)
+		}
+	}
+}
+
+func TestZipfUniformWhenThetaZero(t *testing.T) {
+	z := NewZipf(10, 0)
+	for i := 0; i < 10; i++ {
+		if got := z.Probability(Item(i)); math.Abs(got-0.1) > 1e-12 {
+			t.Fatalf("theta=0 P(%d) = %f, want 0.1", i, got)
+		}
+	}
+}
+
+func TestZipfEmpiricalSkew(t *testing.T) {
+	z := NewZipf(100, 1.0)
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 100)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(rng)]++
+	}
+	// Item 0 should appear roughly 1/H(100) ≈ 19% of the time.
+	p0 := float64(counts[0]) / n
+	if p0 < 0.17 || p0 > 0.22 {
+		t.Fatalf("empirical P(0) = %f, want ≈ 0.19", p0)
+	}
+	if counts[0] <= counts[50] {
+		t.Fatal("no skew observed")
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	z := NewZipf(17, 0.25)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 500; trial++ {
+		k := 1 + rng.Intn(17)
+		s := z.SampleDistinct(rng, k)
+		if len(s) != k {
+			t.Fatalf("got %d items, want %d", len(s), k)
+		}
+		seen := map[Item]bool{}
+		for _, it := range s {
+			if seen[it] {
+				t.Fatalf("duplicate item %d in %v", it, s)
+			}
+			if int(it) >= 17 {
+				t.Fatalf("item %d out of domain", it)
+			}
+			seen[it] = true
+		}
+	}
+	// k > n clamps.
+	if got := z.SampleDistinct(rng, 40); len(got) != 17 {
+		t.Fatalf("clamped sample has %d items, want 17", len(got))
+	}
+}
+
+func TestGenerateSynthetic(t *testing.T) {
+	cfg := DefaultSynthetic(5000)
+	d, err := GenerateSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := d.ComputeStats()
+	if st.NumRecords != 5000 || st.DomainSize != 2000 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.AvgCardinal < 9 || st.AvgCardinal > 13 {
+		t.Fatalf("avg cardinality %f, want ≈ 11 for uniform 2..20", st.AvgCardinal)
+	}
+	if st.MaxCardinal > 20 {
+		t.Fatalf("max cardinality %d > 20", st.MaxCardinal)
+	}
+	// Skew: most frequent item should dominate the median item.
+	sup := d.Support()
+	sorted := append([]int64(nil), sup...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	if sorted[0] < 4*sorted[1000] {
+		t.Fatalf("zipf 0.8 skew missing: top %d vs median %d", sorted[0], sorted[1000])
+	}
+}
+
+func TestGenerateSyntheticDeterministic(t *testing.T) {
+	a, err := GenerateSynthetic(DefaultSynthetic(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateSynthetic(DefaultSynthetic(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		ra, rb := a.Record(i), b.Record(i)
+		if len(ra.Set) != len(rb.Set) {
+			t.Fatalf("record %d differs across identical seeds", i)
+		}
+		for j := range ra.Set {
+			if ra.Set[j] != rb.Set[j] {
+				t.Fatalf("record %d differs across identical seeds", i)
+			}
+		}
+	}
+}
+
+func TestGenerateSyntheticValidation(t *testing.T) {
+	bad := DefaultSynthetic(10)
+	bad.MinLen = 0
+	if _, err := GenerateSynthetic(bad); err == nil {
+		t.Error("MinLen 0 accepted")
+	}
+	bad = DefaultSynthetic(10)
+	bad.DomainSize = 0
+	if _, err := GenerateSynthetic(bad); err == nil {
+		t.Error("DomainSize 0 accepted")
+	}
+	bad = DefaultSynthetic(-1)
+	if _, err := GenerateSynthetic(bad); err == nil {
+		t.Error("negative NumRecords accepted")
+	}
+}
+
+func TestGenerateMSWebTwin(t *testing.T) {
+	cfg := MSWebConfig{BaseRecords: 2000, Replicas: 10, Seed: 2}
+	d, err := GenerateMSWeb(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := d.ComputeStats()
+	if st.NumRecords != 20000 {
+		t.Fatalf("records = %d, want 20000", st.NumRecords)
+	}
+	if st.DomainSize != 294 {
+		t.Fatalf("domain = %d, want 294", st.DomainSize)
+	}
+	if st.AvgCardinal < 2.0 || st.AvgCardinal > 4.0 {
+		t.Fatalf("avg cardinality %f, want ≈ 3", st.AvgCardinal)
+	}
+	// Replication: record i and record i+base must be identical sets.
+	for i := 0; i < 100; i++ {
+		a, b := d.Record(i), d.Record(i+2000)
+		if !a.EqualSet(b.Set) {
+			t.Fatalf("replica %d differs from base", i)
+		}
+	}
+	// Skew check.
+	sup := d.Support()
+	sorted := append([]int64(nil), sup...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	if sorted[0] < 10*sorted[100] {
+		t.Fatalf("msweb skew missing: %d vs %d", sorted[0], sorted[100])
+	}
+}
+
+func TestGenerateMSNBCTwin(t *testing.T) {
+	d, err := GenerateMSNBC(MSNBCConfig{NumRecords: 20000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := d.ComputeStats()
+	if st.DomainSize != 17 {
+		t.Fatalf("domain = %d, want 17", st.DomainSize)
+	}
+	if st.AvgCardinal < 4.5 || st.AvgCardinal > 7.0 {
+		t.Fatalf("avg cardinality %f, want ≈ 5.7", st.AvgCardinal)
+	}
+	// Near-uniform: max support within 4x of min support.
+	sup := d.Support()
+	mn, mx := sup[0], sup[0]
+	for _, s := range sup {
+		if s < mn {
+			mn = s
+		}
+		if s > mx {
+			mx = s
+		}
+	}
+	if mn == 0 || mx > 4*mn {
+		t.Fatalf("msnbc distribution too skewed: min %d max %d", mn, mx)
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d, err := GenerateSynthetic(SyntheticConfig{
+		NumRecords: 500, DomainSize: 50, MinLen: 1, MaxLen: 8, ZipfTheta: 0.5, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() || got.DomainSize() != d.DomainSize() {
+		t.Fatalf("round trip: %d/%d records, %d/%d domain",
+			got.Len(), d.Len(), got.DomainSize(), d.DomainSize())
+	}
+	for i := 0; i < d.Len(); i++ {
+		if !got.Record(i).EqualSet(d.Record(i).Set) {
+			t.Fatalf("record %d differs after round trip", i)
+		}
+	}
+}
+
+func TestReadHeaderless(t *testing.T) {
+	in := "1 2 3\n7\n"
+	d, err := Read(bytes.NewBufferString(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.DomainSize() != 8 {
+		t.Fatalf("inferred domain = %d, want 8", d.DomainSize())
+	}
+	if d.Len() != 2 {
+		t.Fatalf("records = %d, want 2", d.Len())
+	}
+}
+
+func TestReadEmptySetLines(t *testing.T) {
+	in := "domain 5\n0 1\n\n2\n"
+	d, err := Read(bytes.NewBufferString(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("records = %d, want 3 (middle one empty)", d.Len())
+	}
+	if len(d.Record(1).Set) != 0 {
+		t.Fatalf("record 2 set = %v, want empty", d.Record(1).Set)
+	}
+}
+
+func TestReadBadInput(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString("domain x\n")); err == nil {
+		t.Error("bad domain header accepted")
+	}
+	if _, err := Read(bytes.NewBufferString("domain 5\n1 zebra\n")); err == nil {
+		t.Error("bad item accepted")
+	}
+	if _, err := Read(bytes.NewBufferString("domain 2\n0 5\n")); err == nil {
+		t.Error("out-of-domain item accepted")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	d := New(2)
+	if err := d.SetLabels([]string{"home", "downloads"}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Label(1) != "downloads" {
+		t.Fatalf("Label(1) = %q", d.Label(1))
+	}
+	if d.Label(9) != "9" {
+		t.Fatalf("Label(9) = %q, want decimal fallback", d.Label(9))
+	}
+	if err := d.SetLabels([]string{"one"}); err == nil {
+		t.Fatal("wrong label count accepted")
+	}
+}
+
+func TestTruncGeometricBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sum := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		k := truncGeometric(rng, 1.0/3.0, 1, 35)
+		if k < 1 || k > 35 {
+			t.Fatalf("k = %d out of bounds", k)
+		}
+		sum += k
+	}
+	mean := float64(sum) / n
+	if mean < 2.5 || mean > 3.5 {
+		t.Fatalf("mean = %f, want ≈ 3", mean)
+	}
+}

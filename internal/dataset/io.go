@@ -1,0 +1,108 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format is one record per line: space-separated decimal item
+// ids. Lines starting with '#' are comments; the first non-comment line
+// may be a header of the form "domain N" fixing the vocabulary size
+// (otherwise it is inferred as max item + 1). Empty lines encode empty
+// sets only after the header; leading empty lines are skipped.
+
+// Write serialises d in the text format.
+func Write(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# set-valued dataset: %d records\n", d.Len()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "domain %d\n", d.DomainSize()); err != nil {
+		return err
+	}
+	var sb strings.Builder
+	for _, r := range d.Records() {
+		sb.Reset()
+		for i, it := range r.Set {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(strconv.FormatUint(uint64(it), 10))
+		}
+		sb.WriteByte('\n')
+		if _, err := bw.WriteString(sb.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the text format.
+func Read(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var sets [][]Item
+	domain := -1
+	sawHeader := false
+	line := 0
+	maxItem := Item(0)
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(text, "#") {
+			continue
+		}
+		if !sawHeader {
+			if text == "" {
+				continue
+			}
+			if n, ok := strings.CutPrefix(text, "domain "); ok {
+				v, err := strconv.Atoi(strings.TrimSpace(n))
+				if err != nil || v < 0 {
+					return nil, fmt.Errorf("dataset: line %d: bad domain header %q", line, text)
+				}
+				domain = v
+				sawHeader = true
+				continue
+			}
+			sawHeader = true // headerless file; fall through to parse
+		}
+		var set []Item
+		if text != "" {
+			fields := strings.Fields(text)
+			set = make([]Item, 0, len(fields))
+			for _, f := range fields {
+				v, err := strconv.ParseUint(f, 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: line %d: bad item %q", line, f)
+				}
+				it := Item(v)
+				if it > maxItem {
+					maxItem = it
+				}
+				set = append(set, it)
+			}
+		}
+		sets = append(sets, set)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: read: %w", err)
+	}
+	if domain < 0 {
+		if len(sets) == 0 {
+			domain = 0
+		} else {
+			domain = int(maxItem) + 1
+		}
+	}
+	d := New(domain)
+	for i, set := range sets {
+		if _, err := d.Add(set); err != nil {
+			return nil, fmt.Errorf("dataset: record %d: %w", i+1, err)
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,107 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// A faithful excerpt of the UCI msweb file shape.
+const mswebSample = `I,4,"www.microsoft.com created by getlog.pl"
+T,1,"VRoot",1,1,"VRoot"
+N,0,0
+I,4,"Max case ID",42711
+A,1287,1,"International AutoRoute","/autoroute"
+A,1288,1,"library","/library"
+A,1289,1,"Master Chef Product Information","/masterchef"
+A,1297,1,"Central America","/centroam"
+C,"10001",10001
+V,1287,1
+V,1288,1
+C,"10002",10002
+V,1288,1
+C,"10003",10003
+V,1289,1
+V,1297,1
+V,1288,1
+`
+
+func TestReadMSWeb(t *testing.T) {
+	d, err := ReadMSWeb(strings.NewReader(mswebSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("records = %d, want 3", d.Len())
+	}
+	if d.DomainSize() != 4 {
+		t.Fatalf("domain = %d, want 4", d.DomainSize())
+	}
+	// Attribute 1287 -> item 0, 1288 -> 1, 1289 -> 2, 1297 -> 3.
+	if !d.Record(0).EqualSet([]Item{0, 1}) {
+		t.Fatalf("record 1 = %v", d.Record(0).Set)
+	}
+	if !d.Record(1).EqualSet([]Item{1}) {
+		t.Fatalf("record 2 = %v", d.Record(1).Set)
+	}
+	if !d.Record(2).EqualSet([]Item{1, 2, 3}) {
+		t.Fatalf("record 3 = %v", d.Record(2).Set)
+	}
+	if d.Label(2) != "Master Chef Product Information" {
+		t.Fatalf("label = %q", d.Label(2))
+	}
+}
+
+func TestReadMSWebErrors(t *testing.T) {
+	cases := map[string]string{
+		"vote outside case": "A,1000,1,\"x\",\"/x\"\nV,1000,1\n",
+		"unknown attribute": "C,\"1\",1\nV,999,1\n",
+		"bad attribute id":  "A,zebra,1,\"x\",\"/x\"\n",
+		"duplicate attr":    "A,1000,1,\"x\",\"/x\"\nA,1000,1,\"y\",\"/y\"\n",
+		"short vote line":   "A,1000,1,\"x\",\"/x\"\nC,\"1\",1\nV\n",
+		"short attr line":   "A,1000\n",
+		"bad vote id":       "A,1000,1,\"x\",\"/x\"\nC,\"1\",1\nV,zebra,1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMSWeb(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadMSWebEmpty(t *testing.T) {
+	d, err := ReadMSWeb(strings.NewReader("I,4,\"header only\"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 || d.DomainSize() != 0 {
+		t.Fatalf("empty file gave %d records over %d items", d.Len(), d.DomainSize())
+	}
+}
+
+func TestReplicate(t *testing.T) {
+	d, err := ReadMSWeb(strings.NewReader(mswebSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Replicate(d, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 30 {
+		t.Fatalf("replicated records = %d, want 30", r.Len())
+	}
+	// Copies are byte-identical sets and labels carry over.
+	for i := 0; i < d.Len(); i++ {
+		for rep := 0; rep < 10; rep++ {
+			if !r.Record(i + rep*d.Len()).EqualSet(d.Record(i).Set) {
+				t.Fatalf("replica %d of record %d differs", rep, i)
+			}
+		}
+	}
+	if r.Label(0) != d.Label(0) {
+		t.Fatal("labels lost in replication")
+	}
+	if _, err := Replicate(d, 0); err == nil {
+		t.Fatal("replicate 0 accepted")
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/workload"
+)
+
+// RunFig7 regenerates Figure 7: average disk page accesses per query on
+// the two real-dataset twins (msweb row, msnbc row), for subset, equality
+// and superset queries with |qs| = 2..7, IF vs OIF.
+func RunFig7(cfg Config) (Figure, error) {
+	cfg.fill()
+	fig := Figure{Name: "Figure 7: containment queries on real datasets (msweb, msnbc twins)"}
+
+	msweb, err := dataset.GenerateMSWeb(dataset.MSWebConfig{
+		BaseRecords: int(32711 * cfg.RealScale),
+		Replicas:    10,
+		Seed:        cfg.Seed + 100,
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	msnbc, err := dataset.GenerateMSNBC(dataset.MSNBCConfig{
+		NumRecords: int(989818 * cfg.RealScale),
+		Seed:       cfg.Seed + 200,
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+
+	for _, ds := range []struct {
+		name string
+		data *dataset.Dataset
+	}{{"msweb", msweb}, {"msnbc", msnbc}} {
+		pair, err := cfg.BuildPair(ds.data)
+		if err != nil {
+			return Figure{}, err
+		}
+		gen := workload.NewGenerator(ds.data, cfg.Seed+300)
+		for _, kind := range []workload.Kind{workload.Subset, workload.Equality, workload.Superset} {
+			st := ds.data.ComputeStats()
+			panel := Panel{
+				Title: fmt.Sprintf("%s (%d records, %d items, avg card %.1f): %v queries",
+					ds.name, st.NumRecords, st.DomainSize, st.AvgCardinal, kind),
+				XLabel: "|qs|",
+			}
+			for size := 2; size <= 7; size++ {
+				queries := gen.Queries(kind, size, cfg.QueriesPerSize)
+				if len(queries) == 0 {
+					continue
+				}
+				sys, err := MeasureSystems(pair.Systems(), queries, cfg.Disk)
+				if err != nil {
+					return Figure{}, err
+				}
+				panel.Points = append(panel.Points, Point{Param: fmt.Sprint(size), Systems: sys})
+			}
+			fig.Panels = append(fig.Panels, panel)
+		}
+	}
+	PrintFigure(cfg.Out, fig)
+	return fig, nil
+}

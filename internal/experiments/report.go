@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+)
+
+// PrintFigure renders a figure's panels as aligned text tables: one row
+// per x-value with page accesses and cpu/io milliseconds per system —
+// the same series the paper plots.
+func PrintFigure(w io.Writer, fig Figure) {
+	fmt.Fprintf(w, "=== %s ===\n", fig.Name)
+	for _, panel := range fig.Panels {
+		fmt.Fprintf(w, "--- %s ---\n", panel.Title)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		// Header from the first point's system names.
+		if len(panel.Points) == 0 {
+			fmt.Fprintln(w, "(no data)")
+			continue
+		}
+		fmt.Fprintf(tw, "%s", panel.XLabel)
+		for _, s := range panel.Points[0].Systems {
+			fmt.Fprintf(tw, "\t%s:pages\t%s:cpu_ms\t%s:io_ms\t%s:total_ms", s.Name, s.Name, s.Name, s.Name)
+		}
+		fmt.Fprintf(tw, "\tanswers\n")
+		for _, pt := range panel.Points {
+			fmt.Fprintf(tw, "%s", pt.Param)
+			var answers float64
+			for _, s := range pt.Systems {
+				fmt.Fprintf(tw, "\t%.1f\t%.2f\t%.2f\t%.2f",
+					s.M.Pages, ms(s.M.CPU), ms(s.M.IO), ms(s.M.Total()))
+				answers = s.M.Answers
+			}
+			fmt.Fprintf(tw, "\t%.1f\n", answers)
+		}
+		tw.Flush()
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// ratio formats a/b defensively.
+func ratio(a, b float64) string {
+	if b == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2fx", a/b)
+}

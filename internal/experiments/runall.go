@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// RunAll regenerates every paper artefact in order. Results are printed
+// to cfg.Out; the returned error is the first failure.
+func RunAll(cfg Config) error {
+	cfg.fill()
+	if _, err := RunFig7(cfg); err != nil {
+		return fmt.Errorf("fig7: %w", err)
+	}
+	runner := NewRunner(cfg)
+	for _, kind := range []workload.Kind{workload.Subset, workload.Equality, workload.Superset} {
+		if _, err := runner.SyntheticFigure(kind); err != nil {
+			return fmt.Errorf("fig %v: %w", kind, err)
+		}
+	}
+	runner.Release()
+	if _, err := RunSpace(cfg); err != nil {
+		return fmt.Errorf("space: %w", err)
+	}
+	if _, err := RunOrdering(cfg); err != nil {
+		return fmt.Errorf("ordering: %w", err)
+	}
+	if _, err := RunSummary(cfg); err != nil {
+		return fmt.Errorf("summary: %w", err)
+	}
+	if _, err := RunAblations(cfg); err != nil {
+		return fmt.Errorf("ablations: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"repro/internal/dataset"
+)
+
+// Runner caches built dataset/index pairs across experiments: figures
+// 8-10 sweep the same parameter grid, so sharing pairs cuts RunAll's
+// build work roughly threefold. SyntheticConfig is comparable and serves
+// directly as the cache key.
+type Runner struct {
+	cfg   Config
+	pairs map[dataset.SyntheticConfig]*Pair
+}
+
+// NewRunner wraps a config with a pair cache.
+func NewRunner(cfg Config) *Runner {
+	cfg.fill()
+	return &Runner{cfg: cfg, pairs: make(map[dataset.SyntheticConfig]*Pair)}
+}
+
+// Pair returns the built pair for a synthetic config, building and
+// caching it on first use.
+func (r *Runner) Pair(sc dataset.SyntheticConfig) (*Pair, error) {
+	if p, ok := r.pairs[sc]; ok {
+		return p, nil
+	}
+	d, err := dataset.GenerateSynthetic(sc)
+	if err != nil {
+		return nil, err
+	}
+	p, err := r.cfg.BuildPair(d)
+	if err != nil {
+		return nil, err
+	}
+	r.pairs[sc] = p
+	return p, nil
+}
+
+// Release drops the cache, letting the garbage collector reclaim indexes.
+func (r *Runner) Release() { r.pairs = make(map[dataset.SyntheticConfig]*Pair) }

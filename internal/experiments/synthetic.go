@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/workload"
+)
+
+// RunSyntheticFigure regenerates Figure 8 (subset), 9 (equality) or 10
+// (superset): four panels sweeping domain size, database size, query size
+// and Zipf order over synthetic data, reporting page accesses and
+// CPU/modelled-I/O time per query for IF vs OIF.
+func RunSyntheticFigure(cfg Config, kind workload.Kind) (Figure, error) {
+	return NewRunner(cfg).SyntheticFigure(kind)
+}
+
+// SyntheticFigure is RunSyntheticFigure with the runner's pair cache.
+func (r *Runner) SyntheticFigure(kind workload.Kind) (Figure, error) {
+	cfg := r.cfg
+	figNo := map[workload.Kind]int{workload.Subset: 8, workload.Equality: 9, workload.Superset: 10}[kind]
+	fig := Figure{Name: fmt.Sprintf("Figure %d: %v queries on synthetic data (|D| scale %.3f)", figNo, kind, cfg.Scale)}
+
+	const defaultQS = 4
+
+	// Panel a: domain size sweep.
+	panelA := Panel{
+		Title:  fmt.Sprintf("vary |I| (|D|=%d, zipf=0.8, |qs|=%d)", cfg.scaled(10_000_000), defaultQS),
+		XLabel: "|I|",
+	}
+	for _, domain := range []int{500, 2000, 8000} {
+		sc := cfg.SyntheticDefaults()
+		sc.DomainSize = domain
+		pt, err := r.measureSyntheticPoint(sc, kind, defaultQS, fmt.Sprint(domain))
+		if err != nil {
+			return Figure{}, err
+		}
+		panelA.Points = append(panelA.Points, pt)
+	}
+	fig.Panels = append(fig.Panels, panelA)
+
+	// Panel b: database size sweep.
+	panelB := Panel{
+		Title:  fmt.Sprintf("vary |D| (|I|=2000, zipf=0.8, |qs|=%d)", defaultQS),
+		XLabel: "|D|",
+	}
+	for _, paperD := range []int{1_000_000, 5_000_000, 10_000_000, 50_000_000} {
+		sc := cfg.SyntheticDefaults()
+		sc.NumRecords = cfg.scaled(paperD)
+		pt, err := r.measureSyntheticPoint(sc, kind, defaultQS, fmt.Sprint(sc.NumRecords))
+		if err != nil {
+			return Figure{}, err
+		}
+		panelB.Points = append(panelB.Points, pt)
+	}
+	fig.Panels = append(fig.Panels, panelB)
+
+	// Panel c: query size sweep on the default dataset.
+	panelC := Panel{Title: "vary |qs| (defaults: |I|=2000, zipf=0.8)", XLabel: "|qs|"}
+	pair, err := r.Pair(cfg.SyntheticDefaults())
+	if err != nil {
+		return Figure{}, err
+	}
+	gen := workload.NewGenerator(pair.Data, cfg.Seed+400)
+	for size := 2; size <= 20; size += 2 {
+		queries := gen.Queries(kind, size, cfg.QueriesPerSize)
+		if len(queries) == 0 {
+			continue
+		}
+		sys, err := MeasureSystems(pair.Systems(), queries, cfg.Disk)
+		if err != nil {
+			return Figure{}, err
+		}
+		panelC.Points = append(panelC.Points, Point{Param: fmt.Sprint(size), Systems: sys})
+	}
+	fig.Panels = append(fig.Panels, panelC)
+
+	// Panel d: skew sweep.
+	panelD := Panel{
+		Title:  fmt.Sprintf("vary zipf order (|I|=2000, |D|=%d, |qs|=%d)", cfg.scaled(10_000_000), defaultQS),
+		XLabel: "zipf",
+	}
+	for _, theta := range []float64{0, 0.4, 0.8, 1.0} {
+		sc := cfg.SyntheticDefaults()
+		sc.ZipfTheta = theta
+		pt, err := r.measureSyntheticPoint(sc, kind, defaultQS, fmt.Sprintf("%.1f", theta))
+		if err != nil {
+			return Figure{}, err
+		}
+		panelD.Points = append(panelD.Points, pt)
+	}
+	fig.Panels = append(fig.Panels, panelD)
+
+	PrintFigure(cfg.Out, fig)
+	return fig, nil
+}
+
+// measureSyntheticPoint builds (or reuses) the dataset and index pair for
+// one parameter combination and measures one workload on it.
+func (r *Runner) measureSyntheticPoint(sc dataset.SyntheticConfig, kind workload.Kind, qsize int, label string) (Point, error) {
+	pair, err := r.Pair(sc)
+	if err != nil {
+		return Point{}, err
+	}
+	gen := workload.NewGenerator(pair.Data, r.cfg.Seed+500)
+	queries := gen.Queries(kind, qsize, r.cfg.QueriesPerSize)
+	if len(queries) == 0 {
+		return Point{Param: label}, nil
+	}
+	sys, err := MeasureSystems(pair.Systems(), queries, r.cfg.Disk)
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{Param: label, Systems: sys}, nil
+}

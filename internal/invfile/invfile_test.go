@@ -1,0 +1,376 @@
+package invfile
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/naive"
+	"repro/internal/storage"
+)
+
+func buildSmall(t *testing.T, d *dataset.Dataset) *Index {
+	t.Helper()
+	ix, err := Build(d, BuildOptions{PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func paperFig1(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	sets := [][]dataset.Item{
+		{6, 1, 0, 3}, {0, 4, 1}, {5, 4, 0, 1}, {3, 1, 0}, {0, 1, 5, 2},
+		{2, 0}, {3, 7}, {1, 0, 5}, {1, 2}, {9, 1, 6}, {0, 2, 1}, {8, 3},
+		{0}, {0, 3}, {9, 2, 0}, {8, 2}, {0, 2, 7}, {3, 2},
+	}
+	d := dataset.New(10)
+	for _, s := range sets {
+		if _, err := d.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func equalIDs(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPaperSubsetExample: qs = {a, d} must return {101, 104, 114}, which
+// in 1-based positions are records 1, 4, 14 (§2).
+func TestPaperSubsetExample(t *testing.T) {
+	d := paperFig1(t)
+	ix := buildSmall(t, d)
+	got, err := ix.Subset([]dataset.Item{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(got, []uint32{1, 4, 14}) {
+		t.Fatalf("Subset({a,d}) = %v, want [1 4 14]", got)
+	}
+}
+
+// TestPaperSupersetExample: qs = {a, c} must return records 106 and 113
+// (positions 6 and 13).
+func TestPaperSupersetExample(t *testing.T) {
+	d := paperFig1(t)
+	ix := buildSmall(t, d)
+	got, err := ix.Superset([]dataset.Item{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(got, []uint32{6, 13}) {
+		t.Fatalf("Superset({a,c}) = %v, want [6 13]", got)
+	}
+}
+
+func TestEqualityExample(t *testing.T) {
+	d := paperFig1(t)
+	ix := buildSmall(t, d)
+	got, err := ix.Equality([]dataset.Item{0, 1, 3}) // {a,b,d} = record 104
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(got, []uint32{4}) {
+		t.Fatalf("Equality({a,b,d}) = %v, want [4]", got)
+	}
+}
+
+func TestAgainstNaiveRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	d, err := dataset.GenerateSynthetic(dataset.SyntheticConfig{
+		NumRecords: 4000, DomainSize: 60, MinLen: 1, MaxLen: 9, ZipfTheta: 0.9, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := buildSmall(t, d)
+	for trial := 0; trial < 300; trial++ {
+		k := 1 + rng.Intn(5)
+		qs := make([]dataset.Item, k)
+		for i := range qs {
+			qs[i] = dataset.Item(rng.Intn(60))
+		}
+		sub, err := ix.Subset(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := naive.Subset(d, qs); !equalIDs(sub, want) {
+			t.Fatalf("Subset(%v) = %v, want %v", qs, sub, want)
+		}
+		eq, err := ix.Equality(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := naive.Equality(d, qs); !equalIDs(eq, want) {
+			t.Fatalf("Equality(%v) = %v, want %v", qs, eq, want)
+		}
+		sup, err := ix.Superset(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := naive.Superset(d, qs); !equalIDs(sup, want) {
+			t.Fatalf("Superset(%v) = %v, want %v", qs, sup, want)
+		}
+	}
+}
+
+func TestQueriesFromExistingRecords(t *testing.T) {
+	// The paper's workloads use existing records, guaranteeing answers.
+	d, err := dataset.GenerateSynthetic(dataset.SyntheticConfig{
+		NumRecords: 2000, DomainSize: 80, MinLen: 2, MaxLen: 10, ZipfTheta: 0.8, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := buildSmall(t, d)
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		r := d.Record(rng.Intn(d.Len()))
+		eq, err := ix.Equality(r.Set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(eq) == 0 {
+			t.Fatalf("Equality of existing record %d returned nothing", r.ID)
+		}
+		sub, err := ix.Subset(r.Set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sub) == 0 {
+			t.Fatal("Subset of existing record returned nothing")
+		}
+		sup, err := ix.Superset(r.Set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, id := range sup {
+			if id == r.ID {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("Superset of record %d's own set did not contain it", r.ID)
+		}
+	}
+}
+
+func TestEmptyRecordsAndQueries(t *testing.T) {
+	d := dataset.New(5)
+	d.Add(nil)
+	d.Add([]dataset.Item{0, 1})
+	d.Add(nil)
+	d.Add([]dataset.Item{2})
+	ix := buildSmall(t, d)
+
+	sup, err := ix.Superset([]dataset.Item{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(sup, []uint32{1, 2, 3}) {
+		t.Fatalf("Superset = %v, want empty records 1,3 plus record 2", sup)
+	}
+	eq, err := ix.Equality(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(eq, []uint32{1, 3}) {
+		t.Fatalf("Equality(∅) = %v", eq)
+	}
+	sub, err := ix.Subset(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(sub, []uint32{1, 2, 3, 4}) {
+		t.Fatalf("Subset(∅) = %v", sub)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	d := paperFig1(t)
+	ix := buildSmall(t, d)
+	if _, err := ix.Subset([]dataset.Item{99}); err == nil {
+		t.Error("out-of-domain subset query accepted")
+	}
+	// Duplicate query items must behave like the set.
+	a, err := ix.Subset([]dataset.Item{0, 0, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ix.Subset([]dataset.Item{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(a, b) {
+		t.Error("duplicate query items changed the answer")
+	}
+}
+
+func TestFullListsAreRead(t *testing.T) {
+	// The IF's defining property: a subset query reads every page of each
+	// involved list, no matter how selective the query.
+	d, err := dataset.GenerateSynthetic(dataset.SyntheticConfig{
+		NumRecords: 20000, DomainSize: 50, MinLen: 2, MaxLen: 6, ZipfTheta: 0.9, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(d, BuildOptions{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := storage.NewBufferPool(ix.Pool().Pager(), 8)
+	if err := ix.SetPool(small); err != nil {
+		t.Fatal(err)
+	}
+	qs := []dataset.Item{0, 1} // the two most frequent items
+	small.ResetStats()
+	if _, err := ix.Subset(qs); err != nil {
+		t.Fatal(err)
+	}
+	var wantPages int64
+	for _, it := range qs {
+		ext, err := ix.store.Extent(uint32(it))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPages += ext.Pages(512)
+	}
+	// Packed lists can share boundary pages, which the pool may serve
+	// from cache; allow that single-page slack per list.
+	got := small.Stats().Misses
+	if got > wantPages || got < wantPages-int64(len(qs)) {
+		t.Fatalf("subset read %d pages, want about full lists = %d", got, wantPages)
+	}
+}
+
+func TestInsertAndDeltaQueries(t *testing.T) {
+	d := paperFig1(t)
+	ix := buildSmall(t, d)
+	id, err := ix.Insert([]dataset.Item{0, 3}) // {a,d}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 19 {
+		t.Fatalf("inserted id = %d, want 19", id)
+	}
+	got, err := ix.Subset([]dataset.Item{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(got, []uint32{1, 4, 14, 19}) {
+		t.Fatalf("Subset after insert = %v", got)
+	}
+	eq, err := ix.Equality([]dataset.Item{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(eq, []uint32{14, 19}) {
+		t.Fatalf("Equality after insert = %v", eq)
+	}
+}
+
+func TestMergeDelta(t *testing.T) {
+	d := paperFig1(t)
+	ix := buildSmall(t, d)
+	for i := 0; i < 50; i++ {
+		if _, err := ix.Insert([]dataset.Item{0, 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.DeltaLen() != 50 {
+		t.Fatalf("DeltaLen = %d", ix.DeltaLen())
+	}
+	if err := ix.MergeDelta(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.DeltaLen() != 0 {
+		t.Fatal("delta not cleared")
+	}
+	if ix.NumRecords() != 68 {
+		t.Fatalf("NumRecords = %d, want 68", ix.NumRecords())
+	}
+	got, err := ix.Subset([]dataset.Item{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 53 { // 1, 4, 14 + 50 inserted
+		t.Fatalf("Subset after merge has %d answers, want 53", len(got))
+	}
+	// A second merge with nothing pending is a no-op.
+	if err := ix.MergeDelta(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeDeltaMatchesFreshBuild(t *testing.T) {
+	base, err := dataset.GenerateSynthetic(dataset.SyntheticConfig{
+		NumRecords: 1000, DomainSize: 40, MinLen: 1, MaxLen: 8, ZipfTheta: 0.7, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra, err := dataset.GenerateSynthetic(dataset.SyntheticConfig{
+		NumRecords: 300, DomainSize: 40, MinLen: 1, MaxLen: 8, ZipfTheta: 0.7, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := buildSmall(t, base)
+	merged := dataset.New(40)
+	for _, r := range base.Records() {
+		merged.Add(r.Set)
+	}
+	for _, r := range extra.Records() {
+		if _, err := ix.Insert(r.Set); err != nil {
+			t.Fatal(err)
+		}
+		merged.Add(r.Set)
+	}
+	if err := ix.MergeDelta(); err != nil {
+		t.Fatal(err)
+	}
+	fresh := buildSmall(t, merged)
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		k := 1 + rng.Intn(4)
+		qs := make([]dataset.Item, k)
+		for i := range qs {
+			qs[i] = dataset.Item(rng.Intn(40))
+		}
+		a, err := ix.Subset(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := fresh.Subset(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalIDs(a, b) {
+			t.Fatalf("merged and fresh disagree on Subset(%v)", qs)
+		}
+		a, err = ix.Superset(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err = fresh.Superset(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalIDs(a, b) {
+			t.Fatalf("merged and fresh disagree on Superset(%v)", qs)
+		}
+	}
+}

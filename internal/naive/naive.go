@@ -1,0 +1,65 @@
+// Package naive evaluates containment queries by scanning the whole
+// dataset. It is the correctness oracle for every index implementation in
+// this repository: tests compare IF, OIF and unordered-B-tree answers
+// against it, and the workload generator uses it to report true
+// selectivities.
+package naive
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// prep returns qs sorted ascending and deduplicated, without mutating the
+// caller's slice.
+func prep(qs []dataset.Item) []dataset.Item {
+	cp := make([]dataset.Item, len(qs))
+	copy(cp, qs)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	out := cp[:0]
+	for i, v := range cp {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Subset returns the ids of all records t with qs ⊆ t.s, ascending.
+func Subset(d *dataset.Dataset, qs []dataset.Item) []uint32 {
+	q := prep(qs)
+	var out []uint32
+	for _, r := range d.Records() {
+		if r.ContainsAll(q) {
+			out = append(out, r.ID)
+		}
+	}
+	return out
+}
+
+// Equality returns the ids of all records t with t.s = qs, ascending.
+func Equality(d *dataset.Dataset, qs []dataset.Item) []uint32 {
+	q := prep(qs)
+	var out []uint32
+	for _, r := range d.Records() {
+		if r.EqualSet(q) {
+			out = append(out, r.ID)
+		}
+	}
+	return out
+}
+
+// Superset returns the ids of all records t with t.s ⊆ qs, ascending.
+// Note the paper's naming: a superset query asks for records whose items
+// are all contained in the query set.
+func Superset(d *dataset.Dataset, qs []dataset.Item) []uint32 {
+	q := prep(qs)
+	var out []uint32
+	for _, r := range d.Records() {
+		if r.SubsetOf(q) {
+			out = append(out, r.ID)
+		}
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package naive
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func fixture(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	d := dataset.New(6)
+	sets := [][]dataset.Item{
+		{0, 1, 2}, // 1
+		{0, 1},    // 2
+		{2},       // 3
+		nil,       // 4
+		{0, 1, 2}, // 5
+		{3, 4, 5}, // 6
+	}
+	for _, s := range sets {
+		if _, err := d.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func eq(a []uint32, b ...uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSubset(t *testing.T) {
+	d := fixture(t)
+	if got := Subset(d, []dataset.Item{0, 1}); !eq(got, 1, 2, 5) {
+		t.Fatalf("Subset({0,1}) = %v", got)
+	}
+	if got := Subset(d, nil); !eq(got, 1, 2, 3, 4, 5, 6) {
+		t.Fatalf("Subset(∅) = %v", got)
+	}
+	if got := Subset(d, []dataset.Item{0, 3}); len(got) != 0 {
+		t.Fatalf("Subset({0,3}) = %v", got)
+	}
+	// Unsorted, duplicated query items behave like the set.
+	if got := Subset(d, []dataset.Item{1, 0, 1}); !eq(got, 1, 2, 5) {
+		t.Fatalf("Subset dup = %v", got)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	d := fixture(t)
+	if got := Equality(d, []dataset.Item{0, 1, 2}); !eq(got, 1, 5) {
+		t.Fatalf("Equality = %v", got)
+	}
+	if got := Equality(d, nil); !eq(got, 4) {
+		t.Fatalf("Equality(∅) = %v", got)
+	}
+}
+
+func TestSuperset(t *testing.T) {
+	d := fixture(t)
+	if got := Superset(d, []dataset.Item{0, 1, 2}); !eq(got, 1, 2, 3, 4, 5) {
+		t.Fatalf("Superset = %v", got)
+	}
+	if got := Superset(d, nil); !eq(got, 4) {
+		t.Fatalf("Superset(∅) = %v", got)
+	}
+}

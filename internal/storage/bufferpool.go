@@ -1,0 +1,288 @@
+package storage
+
+import (
+	"fmt"
+)
+
+// AccessStats records how a BufferPool has touched its backing pager.
+// Misses model disk page accesses; the paper distinguishes sequential
+// accesses from random ones (a seek), which is the basis of the disk
+// model. Misses are classified by jump distance from the previous miss:
+// sequential (+1 page), near (within NearWindow pages — a short-stroke
+// seek that the era's disks served from track cache at ~1 ms) or random
+// (a full seek).
+type AccessStats struct {
+	Hits       int64 // page found in the pool
+	Misses     int64 // page fetched from the pager (a "disk page access")
+	SeqMisses  int64 // misses whose page id is exactly lastMiss+1
+	NearMisses int64 // misses within NearWindow pages of the last miss
+	RandMisses int64 // all other misses
+	Writes     int64 // dirty pages written back to the pager
+}
+
+// NearWindow is the jump distance (in pages) under which a miss counts as
+// near rather than random: 256 x 4 KB = 1 MB, about one disk track.
+const NearWindow = 256
+
+// Accesses returns total page requests served (hits + misses).
+func (s AccessStats) Accesses() int64 { return s.Hits + s.Misses }
+
+// Sub returns s - t, useful for per-query deltas around a snapshot.
+func (s AccessStats) Sub(t AccessStats) AccessStats {
+	return AccessStats{
+		Hits:       s.Hits - t.Hits,
+		Misses:     s.Misses - t.Misses,
+		SeqMisses:  s.SeqMisses - t.SeqMisses,
+		NearMisses: s.NearMisses - t.NearMisses,
+		RandMisses: s.RandMisses - t.RandMisses,
+		Writes:     s.Writes - t.Writes,
+	}
+}
+
+// Add returns s + t.
+func (s AccessStats) Add(t AccessStats) AccessStats {
+	return AccessStats{
+		Hits:       s.Hits + t.Hits,
+		Misses:     s.Misses + t.Misses,
+		SeqMisses:  s.SeqMisses + t.SeqMisses,
+		NearMisses: s.NearMisses + t.NearMisses,
+		RandMisses: s.RandMisses + t.RandMisses,
+		Writes:     s.Writes + t.Writes,
+	}
+}
+
+func (s AccessStats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d (seq=%d near=%d rand=%d) writes=%d",
+		s.Hits, s.Misses, s.SeqMisses, s.NearMisses, s.RandMisses, s.Writes)
+}
+
+// frame is one cached page plus its LRU bookkeeping.
+type frame struct {
+	id    PageID
+	data  []byte
+	dirty bool
+	pins  int
+	// intrusive doubly-linked LRU list (head = most recent)
+	prev, next *frame
+}
+
+// BufferPool caches a fixed number of pages over a Pager with LRU
+// replacement and write-back of dirty pages. It is the measurement point of
+// the whole repository: every index reads pages exclusively through a pool,
+// and AccessStats.Misses is the paper's "disk page accesses".
+//
+// Pinned pages are exempt from eviction; callers pin at most a handful of
+// pages at a time (a B-tree root-to-leaf path), which must be smaller than
+// the pool. The zero value is not usable; use NewBufferPool.
+type BufferPool struct {
+	pager    Pager
+	capacity int
+	frames   map[PageID]*frame
+	lruHead  *frame
+	lruTail  *frame
+	stats    AccessStats
+	lastMiss PageID
+}
+
+// DefaultPoolPages mirrors the paper's minimum Berkeley DB cache: 32 KB,
+// i.e. 8 pages of 4 KB.
+const DefaultPoolPages = 8
+
+// NewBufferPool wraps pager with an LRU cache of capacity pages.
+// A non-positive capacity selects DefaultPoolPages.
+func NewBufferPool(pager Pager, capacity int) *BufferPool {
+	if capacity <= 0 {
+		capacity = DefaultPoolPages
+	}
+	return &BufferPool{
+		pager:    pager,
+		capacity: capacity,
+		frames:   make(map[PageID]*frame, capacity),
+		lastMiss: InvalidPageID,
+	}
+}
+
+// Pager returns the backing pager.
+func (bp *BufferPool) Pager() Pager { return bp.pager }
+
+// Capacity returns the pool size in pages.
+func (bp *BufferPool) Capacity() int { return bp.capacity }
+
+// PageSize returns the backing pager's page size.
+func (bp *BufferPool) PageSize() int { return bp.pager.PageSize() }
+
+// Stats returns the accumulated access statistics.
+func (bp *BufferPool) Stats() AccessStats { return bp.stats }
+
+// ResetStats zeroes the statistics and the sequentiality tracker. The page
+// cache itself is not touched; use DropAll to also empty the cache (a "cold
+// cache" measurement, as between the paper's queries).
+func (bp *BufferPool) ResetStats() {
+	bp.stats = AccessStats{}
+	bp.lastMiss = InvalidPageID
+}
+
+// DropAll flushes dirty pages and empties the cache so the next accesses
+// start cold. It returns the first flush error encountered.
+func (bp *BufferPool) DropAll() error {
+	if err := bp.Flush(); err != nil {
+		return err
+	}
+	for id, f := range bp.frames {
+		if f.pins > 0 {
+			return fmt.Errorf("storage: DropAll with pinned page %d", id)
+		}
+	}
+	bp.frames = make(map[PageID]*frame, bp.capacity)
+	bp.lruHead, bp.lruTail = nil, nil
+	return nil
+}
+
+// lruUnlink removes f from the LRU list.
+func (bp *BufferPool) lruUnlink(f *frame) {
+	if f.prev != nil {
+		f.prev.next = f.next
+	} else if bp.lruHead == f {
+		bp.lruHead = f.next
+	}
+	if f.next != nil {
+		f.next.prev = f.prev
+	} else if bp.lruTail == f {
+		bp.lruTail = f.prev
+	}
+	f.prev, f.next = nil, nil
+}
+
+// lruPushFront makes f the most recently used frame.
+func (bp *BufferPool) lruPushFront(f *frame) {
+	f.prev = nil
+	f.next = bp.lruHead
+	if bp.lruHead != nil {
+		bp.lruHead.prev = f
+	}
+	bp.lruHead = f
+	if bp.lruTail == nil {
+		bp.lruTail = f
+	}
+}
+
+// touch marks f as most recently used.
+func (bp *BufferPool) touch(f *frame) {
+	if bp.lruHead == f {
+		return
+	}
+	bp.lruUnlink(f)
+	bp.lruPushFront(f)
+}
+
+// evictOne writes back and drops the least recently used unpinned frame.
+func (bp *BufferPool) evictOne() error {
+	for f := bp.lruTail; f != nil; f = f.prev {
+		if f.pins > 0 {
+			continue
+		}
+		if f.dirty {
+			if err := bp.pager.WritePage(f.id, f.data); err != nil {
+				return err
+			}
+			bp.stats.Writes++
+			f.dirty = false
+		}
+		bp.lruUnlink(f)
+		delete(bp.frames, f.id)
+		return nil
+	}
+	return fmt.Errorf("storage: buffer pool of %d pages exhausted by pins", bp.capacity)
+}
+
+// fetch returns the frame for id, loading it on a miss.
+func (bp *BufferPool) fetch(id PageID) (*frame, error) {
+	if f, ok := bp.frames[id]; ok {
+		bp.stats.Hits++
+		bp.touch(f)
+		return f, nil
+	}
+	bp.stats.Misses++
+	switch delta := int64(id) - int64(bp.lastMiss); {
+	case bp.lastMiss == InvalidPageID:
+		bp.stats.RandMisses++
+	case delta == 1:
+		bp.stats.SeqMisses++
+	case delta >= -NearWindow && delta <= NearWindow:
+		bp.stats.NearMisses++
+	default:
+		bp.stats.RandMisses++
+	}
+	bp.lastMiss = id
+	for len(bp.frames) >= bp.capacity {
+		if err := bp.evictOne(); err != nil {
+			return nil, err
+		}
+	}
+	f := &frame{id: id, data: make([]byte, bp.pager.PageSize())}
+	if err := bp.pager.ReadPage(id, f.data); err != nil {
+		return nil, err
+	}
+	bp.frames[id] = f
+	bp.lruPushFront(f)
+	return f, nil
+}
+
+// Get pins page id and returns its bytes. The slice aliases the cached
+// frame: the caller must not retain it past the matching Put, and must call
+// MarkDirty (or use the Update helper) if it modifies the contents.
+func (bp *BufferPool) Get(id PageID) ([]byte, error) {
+	f, err := bp.fetch(id)
+	if err != nil {
+		return nil, err
+	}
+	f.pins++
+	return f.data, nil
+}
+
+// Put unpins page id. Every Get must be paired with exactly one Put.
+func (bp *BufferPool) Put(id PageID) {
+	if f, ok := bp.frames[id]; ok && f.pins > 0 {
+		f.pins--
+	}
+}
+
+// MarkDirty records that page id was modified and must be written back.
+func (bp *BufferPool) MarkDirty(id PageID) {
+	if f, ok := bp.frames[id]; ok {
+		f.dirty = true
+	}
+}
+
+// Allocate creates a new zeroed page in the backing pager and caches it
+// pinned; the caller must Put it. The page is marked dirty.
+func (bp *BufferPool) Allocate() (PageID, []byte, error) {
+	id, err := bp.pager.Allocate()
+	if err != nil {
+		return InvalidPageID, nil, err
+	}
+	for len(bp.frames) >= bp.capacity {
+		if err := bp.evictOne(); err != nil {
+			return InvalidPageID, nil, err
+		}
+	}
+	f := &frame{id: id, data: make([]byte, bp.pager.PageSize()), dirty: true, pins: 1}
+	bp.frames[id] = f
+	bp.lruPushFront(f)
+	return id, f.data, nil
+}
+
+// Flush writes back every dirty page without evicting anything.
+func (bp *BufferPool) Flush() error {
+	for _, f := range bp.frames {
+		if !f.dirty {
+			continue
+		}
+		if err := bp.pager.WritePage(f.id, f.data); err != nil {
+			return err
+		}
+		bp.stats.Writes++
+		f.dirty = false
+	}
+	return bp.pager.Sync()
+}

@@ -1,0 +1,89 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrInjected is the sentinel returned by FaultyPager when a fault fires.
+var ErrInjected = errors.New("storage: injected fault")
+
+// FaultyPager wraps a Pager and fails the Nth I/O operation (1-based),
+// counting reads, writes and allocations. Tests use it to verify that
+// every index surfaces storage errors instead of panicking or corrupting
+// results. After firing once it keeps failing, modelling a dead device.
+type FaultyPager struct {
+	Inner   Pager
+	FailAt  int64 // operation number that fails; 0 disables
+	ops     atomic.Int64
+	tripped atomic.Bool
+}
+
+// NewFaultyPager wraps inner, failing the failAt-th operation.
+func NewFaultyPager(inner Pager, failAt int64) *FaultyPager {
+	return &FaultyPager{Inner: inner, FailAt: failAt}
+}
+
+// Ops returns the number of operations attempted so far.
+func (f *FaultyPager) Ops() int64 { return f.ops.Load() }
+
+// Reset disarms the fault and clears the tripped state; the operation
+// counter keeps running. Set FailAt relative to Ops() to re-arm.
+func (f *FaultyPager) Reset() {
+	f.FailAt = 0
+	f.tripped.Store(false)
+}
+
+// Tripped reports whether the fault has fired.
+func (f *FaultyPager) Tripped() bool { return f.tripped.Load() }
+
+func (f *FaultyPager) step(op string) error {
+	n := f.ops.Add(1)
+	if f.tripped.Load() || (f.FailAt > 0 && n >= f.FailAt) {
+		f.tripped.Store(true)
+		return fmt.Errorf("%w: %s (op %d)", ErrInjected, op, n)
+	}
+	return nil
+}
+
+// PageSize implements Pager.
+func (f *FaultyPager) PageSize() int { return f.Inner.PageSize() }
+
+// NumPages implements Pager.
+func (f *FaultyPager) NumPages() int64 { return f.Inner.NumPages() }
+
+// Allocate implements Pager.
+func (f *FaultyPager) Allocate() (PageID, error) {
+	if err := f.step("allocate"); err != nil {
+		return InvalidPageID, err
+	}
+	return f.Inner.Allocate()
+}
+
+// ReadPage implements Pager.
+func (f *FaultyPager) ReadPage(id PageID, buf []byte) error {
+	if err := f.step("read"); err != nil {
+		return err
+	}
+	return f.Inner.ReadPage(id, buf)
+}
+
+// WritePage implements Pager.
+func (f *FaultyPager) WritePage(id PageID, buf []byte) error {
+	if err := f.step("write"); err != nil {
+		return err
+	}
+	return f.Inner.WritePage(id, buf)
+}
+
+// Sync implements Pager.
+func (f *FaultyPager) Sync() error {
+	if err := f.step("sync"); err != nil {
+		return err
+	}
+	return f.Inner.Sync()
+}
+
+// Close implements Pager.
+func (f *FaultyPager) Close() error { return f.Inner.Close() }

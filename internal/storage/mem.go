@@ -1,0 +1,74 @@
+package storage
+
+// MemPager is an in-memory Pager. It is the workhorse of the experimental
+// harness: queries run against a MemPager behind a BufferPool, so that
+// measured wall time approximates pure CPU time while the buffer pool still
+// records the page-access trace that the disk model converts to I/O time.
+type MemPager struct {
+	pageSize int
+	pages    [][]byte
+	closed   bool
+}
+
+// NewMemPager returns an empty in-memory pager with the given page size.
+// A non-positive pageSize selects DefaultPageSize.
+func NewMemPager(pageSize int) *MemPager {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	return &MemPager{pageSize: pageSize}
+}
+
+// PageSize implements Pager.
+func (m *MemPager) PageSize() int { return m.pageSize }
+
+// NumPages implements Pager.
+func (m *MemPager) NumPages() int64 { return int64(len(m.pages)) }
+
+// Allocate implements Pager.
+func (m *MemPager) Allocate() (PageID, error) {
+	if m.closed {
+		return InvalidPageID, ErrClosed
+	}
+	m.pages = append(m.pages, make([]byte, m.pageSize))
+	return PageID(len(m.pages) - 1), nil
+}
+
+// ReadPage implements Pager.
+func (m *MemPager) ReadPage(id PageID, buf []byte) error {
+	if m.closed {
+		return ErrClosed
+	}
+	if err := checkPage(m, id, buf); err != nil {
+		return err
+	}
+	copy(buf, m.pages[id])
+	return nil
+}
+
+// WritePage implements Pager.
+func (m *MemPager) WritePage(id PageID, buf []byte) error {
+	if m.closed {
+		return ErrClosed
+	}
+	if err := checkPage(m, id, buf); err != nil {
+		return err
+	}
+	copy(m.pages[id], buf)
+	return nil
+}
+
+// Sync implements Pager. It is a no-op for memory.
+func (m *MemPager) Sync() error {
+	if m.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Close implements Pager.
+func (m *MemPager) Close() error {
+	m.closed = true
+	m.pages = nil
+	return nil
+}

@@ -1,0 +1,406 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func testPagerBasics(t *testing.T, p Pager) {
+	t.Helper()
+	if p.NumPages() != 0 {
+		t.Fatalf("fresh pager has %d pages, want 0", p.NumPages())
+	}
+	id0, err := p.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if id0 != 0 {
+		t.Fatalf("first page id = %d, want 0", id0)
+	}
+	id1, err := p.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if id1 != 1 {
+		t.Fatalf("second page id = %d, want 1", id1)
+	}
+
+	buf := make([]byte, p.PageSize())
+	for i := range buf {
+		buf[i] = byte(i % 251)
+	}
+	if err := p.WritePage(id1, buf); err != nil {
+		t.Fatalf("WritePage: %v", err)
+	}
+	got := make([]byte, p.PageSize())
+	if err := p.ReadPage(id1, got); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	if !bytes.Equal(got, buf) {
+		t.Fatal("read back different bytes than written")
+	}
+	// Page 0 must still be zeroed.
+	if err := p.ReadPage(id0, got); err != nil {
+		t.Fatalf("ReadPage(0): %v", err)
+	}
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("page 0 byte %d = %d, want 0", i, b)
+		}
+	}
+}
+
+func testPagerErrors(t *testing.T, p Pager) {
+	t.Helper()
+	buf := make([]byte, p.PageSize())
+	if err := p.ReadPage(PageID(p.NumPages()), buf); err == nil {
+		t.Error("ReadPage past end succeeded, want error")
+	}
+	if err := p.ReadPage(-1, buf); err == nil {
+		t.Error("ReadPage(-1) succeeded, want error")
+	}
+	short := make([]byte, p.PageSize()-1)
+	if _, err := p.Allocate(); err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if err := p.ReadPage(0, short); err == nil {
+		t.Error("ReadPage with short buffer succeeded, want error")
+	}
+	if err := p.WritePage(0, short); err == nil {
+		t.Error("WritePage with short buffer succeeded, want error")
+	}
+}
+
+func TestMemPagerBasics(t *testing.T)  { testPagerBasics(t, NewMemPager(512)) }
+func TestMemPagerErrors(t *testing.T)  { testPagerErrors(t, NewMemPager(512)) }
+func TestFilePagerBasics(t *testing.T) { testPagerBasics(t, newTempFilePager(t, 512)) }
+func TestFilePagerErrors(t *testing.T) { testPagerErrors(t, newTempFilePager(t, 512)) }
+
+func newTempFilePager(t *testing.T, pageSize int) *FilePager {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "pages.db")
+	p, err := CreateFilePager(path, pageSize)
+	if err != nil {
+		t.Fatalf("CreateFilePager: %v", err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestFilePagerReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	p, err := CreateFilePager(path, 256)
+	if err != nil {
+		t.Fatalf("CreateFilePager: %v", err)
+	}
+	want := make([]byte, 256)
+	for i := range want {
+		want[i] = byte(i)
+	}
+	if _, err := p.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WritePage(1, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	q, err := OpenFilePager(path, 256)
+	if err != nil {
+		t.Fatalf("OpenFilePager: %v", err)
+	}
+	defer q.Close()
+	if q.NumPages() != 2 {
+		t.Fatalf("reopened pager has %d pages, want 2", q.NumPages())
+	}
+	got := make([]byte, 256)
+	if err := q.ReadPage(1, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("reopened page contents differ")
+	}
+}
+
+func TestFilePagerOpenBadSize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	p, err := CreateFilePager(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if _, err := OpenFilePager(path, 512); err == nil {
+		t.Fatal("OpenFilePager with mismatched page size succeeded, want error")
+	}
+}
+
+func TestMemPagerClosed(t *testing.T) {
+	p := NewMemPager(128)
+	if _, err := p.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Allocate(); err == nil {
+		t.Error("Allocate after Close succeeded")
+	}
+	if err := p.ReadPage(0, make([]byte, 128)); err == nil {
+		t.Error("ReadPage after Close succeeded")
+	}
+}
+
+func TestBufferPoolHitsAndMisses(t *testing.T) {
+	pool := NewBufferPool(NewMemPager(128), 2)
+	for i := 0; i < 3; i++ {
+		if _, err := pool.Pager().Allocate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First touch of each page is a miss.
+	for i := PageID(0); i < 3; i++ {
+		b, err := pool.Get(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = b
+		pool.Put(i)
+	}
+	s := pool.Stats()
+	if s.Misses != 3 || s.Hits != 0 {
+		t.Fatalf("stats after cold reads: %v, want 3 misses 0 hits", s)
+	}
+	if s.SeqMisses != 2 || s.RandMisses != 1 {
+		t.Fatalf("sequentiality: %v, want 2 seq 1 rand", s)
+	}
+	// Page 2 is hot (capacity 2 kept pages 1,2); page 0 was evicted.
+	if _, err := pool.Get(2); err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(2)
+	if got := pool.Stats().Hits; got != 1 {
+		t.Fatalf("hits = %d, want 1", got)
+	}
+	if _, err := pool.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(0)
+	st := pool.Stats()
+	if st.Misses != 4 {
+		t.Fatalf("misses = %d, want 4 after LRU eviction", st.Misses)
+	}
+	// The re-read of page 0 jumped back 2 pages: a near miss.
+	if st.NearMisses != 1 {
+		t.Fatalf("near misses = %d, want 1", st.NearMisses)
+	}
+}
+
+func TestBufferPoolWriteBack(t *testing.T) {
+	mem := NewMemPager(64)
+	pool := NewBufferPool(mem, 1)
+	id, data, err := pool.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(data, []byte("hello"))
+	pool.MarkDirty(id)
+	pool.Put(id)
+
+	// Force eviction by touching another page.
+	id2, _, err := pool.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(id2)
+	if err := pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := make([]byte, 64)
+	if err := mem.ReadPage(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:5]) != "hello" {
+		t.Fatalf("written-back page = %q, want hello prefix", got[:5])
+	}
+}
+
+func TestBufferPoolPinPreventsEviction(t *testing.T) {
+	pool := NewBufferPool(NewMemPager(64), 2)
+	id0, _, err := pool.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// id0 stays pinned. Fill the rest of the pool and keep going; the pool
+	// must evict around the pin.
+	for i := 0; i < 4; i++ {
+		id, _, err := pool.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Put(id)
+	}
+	// The pinned page must still be resident: re-Get must be a hit.
+	before := pool.Stats().Misses
+	if _, err := pool.Get(id0); err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(id0)
+	pool.Put(id0) // release the original pin
+	if pool.Stats().Misses != before {
+		t.Fatal("pinned page was evicted")
+	}
+}
+
+func TestBufferPoolAllPinnedFails(t *testing.T) {
+	pool := NewBufferPool(NewMemPager(64), 1)
+	id, _, err := pool.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = id // keep pinned
+	if _, _, err := pool.Allocate(); err == nil {
+		t.Fatal("Allocate with all frames pinned succeeded, want error")
+	}
+}
+
+func TestBufferPoolDropAll(t *testing.T) {
+	mem := NewMemPager(64)
+	pool := NewBufferPool(mem, 4)
+	id, data, err := pool.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(data, []byte("persist"))
+	pool.MarkDirty(id)
+	pool.Put(id)
+	if err := pool.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	pool.ResetStats()
+	b, err := pool.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Put(id)
+	if string(b[:7]) != "persist" {
+		t.Fatal("DropAll lost dirty data")
+	}
+	if pool.Stats().Misses != 1 {
+		t.Fatal("page survived DropAll in cache")
+	}
+}
+
+func TestBufferPoolRandomizedAgainstPager(t *testing.T) {
+	// Property: a pool over a pager behaves exactly like the pager alone.
+	rng := rand.New(rand.NewSource(42))
+	mem := NewMemPager(32)
+	pool := NewBufferPool(mem, 3)
+	shadow := make(map[PageID][]byte)
+
+	var ids []PageID
+	for step := 0; step < 2000; step++ {
+		switch op := rng.Intn(3); {
+		case op == 0 || len(ids) == 0:
+			id, data, err := pool.Allocate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng.Read(data)
+			pool.MarkDirty(id)
+			pool.Put(id)
+			cp := make([]byte, 32)
+			b, err := pool.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			copy(cp, b)
+			pool.Put(id)
+			shadow[id] = cp
+			ids = append(ids, id)
+		case op == 1:
+			id := ids[rng.Intn(len(ids))]
+			b, err := pool.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b, shadow[id]) {
+				t.Fatalf("step %d: page %d contents diverged", step, id)
+			}
+			pool.Put(id)
+		default:
+			id := ids[rng.Intn(len(ids))]
+			b, err := pool.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng.Read(b)
+			cp := make([]byte, 32)
+			copy(cp, b)
+			shadow[id] = cp
+			pool.MarkDirty(id)
+			pool.Put(id)
+		}
+	}
+	if err := pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// After flush the raw pager must agree with the shadow.
+	buf := make([]byte, 32)
+	for id, want := range shadow {
+		if err := mem.ReadPage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, want) {
+			t.Fatalf("after flush page %d differs", id)
+		}
+	}
+}
+
+func TestAccessStatsArithmetic(t *testing.T) {
+	a := AccessStats{Hits: 10, Misses: 5, SeqMisses: 3, NearMisses: 1, RandMisses: 2, Writes: 1}
+	b := AccessStats{Hits: 4, Misses: 2, SeqMisses: 1, NearMisses: 1, RandMisses: 1, Writes: 0}
+	d := a.Sub(b)
+	if d.Hits != 6 || d.Misses != 3 || d.SeqMisses != 2 || d.NearMisses != 0 || d.RandMisses != 1 || d.Writes != 1 {
+		t.Fatalf("Sub = %+v", d)
+	}
+	s := d.Add(b)
+	if s != a {
+		t.Fatalf("Add(Sub) = %+v, want %+v", s, a)
+	}
+	if a.Accesses() != 15 {
+		t.Fatalf("Accesses = %d, want 15", a.Accesses())
+	}
+}
+
+func TestDiskModelTime(t *testing.T) {
+	m := DiskModel{
+		RandomLatency:     10 * time.Millisecond,
+		NearLatency:       3 * time.Millisecond,
+		SequentialLatency: 1 * time.Millisecond,
+		WriteLatency:      2 * time.Millisecond,
+	}
+	s := AccessStats{RandMisses: 3, NearMisses: 2, SeqMisses: 5, Writes: 2}
+	want := 3*10*time.Millisecond + 2*3*time.Millisecond + 5*time.Millisecond + 2*2*time.Millisecond
+	if got := m.Time(s); got != want {
+		t.Fatalf("Time = %v, want %v", got, want)
+	}
+	def := DefaultDiskModel()
+	if def.RandomLatency <= def.NearLatency || def.NearLatency <= def.SequentialLatency {
+		t.Fatal("default model must order random > near > sequential")
+	}
+}

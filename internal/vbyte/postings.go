@@ -1,0 +1,75 @@
+package vbyte
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Posting is one inverted-list entry: a record id plus the record's set
+// cardinality. The paper extends the classic inverted file with the length
+// "so that equality and superset queries can be processed" (§2, after
+// Helmer & Moerkotte), and the OIF keeps the same payload per block (§5:
+// "Each inverted list is populated by postings which are comprised by the
+// id and the length of the records").
+type Posting struct {
+	ID     uint32 // record id (1-based; 0 is reserved)
+	Length uint32 // cardinality of the record's set
+}
+
+// ErrNonMonotonic reports posting ids that are not strictly increasing,
+// which d-gap coding requires.
+var ErrNonMonotonic = errors.New("vbyte: posting ids not strictly increasing")
+
+// AppendPostings appends the compressed encoding of postings to dst.
+// Ids are delta-coded against prev (pass 0 for a fresh list or block head;
+// the paper notes OIF blocks store their first id explicitly, which callers
+// achieve by passing prev = 0 per block) and then v-byte coded; lengths are
+// v-byte coded directly.
+func AppendPostings(dst []byte, postings []Posting, prev uint32) ([]byte, error) {
+	last := prev
+	for _, p := range postings {
+		if p.ID <= last {
+			return nil, fmt.Errorf("%w: id %d after %d", ErrNonMonotonic, p.ID, last)
+		}
+		dst = AppendUint32(dst, p.ID-last)
+		dst = AppendUint32(dst, p.Length)
+		last = p.ID
+	}
+	return dst, nil
+}
+
+// DecodePostings decodes every posting in buf, delta-decoding ids against
+// prev, appending to out (which may be nil) and returning the result.
+func DecodePostings(buf []byte, prev uint32, out []Posting) ([]Posting, error) {
+	last := prev
+	for len(buf) > 0 {
+		gap, n, err := Uint32(buf)
+		if err != nil {
+			return nil, fmt.Errorf("vbyte: posting id gap: %w", err)
+		}
+		buf = buf[n:]
+		length, n, err := Uint32(buf)
+		if err != nil {
+			return nil, fmt.Errorf("vbyte: posting length: %w", err)
+		}
+		buf = buf[n:]
+		if gap == 0 {
+			return nil, fmt.Errorf("%w: zero gap", ErrNonMonotonic)
+		}
+		last += gap
+		out = append(out, Posting{ID: last, Length: length})
+	}
+	return out, nil
+}
+
+// PostingsLen returns the encoded byte size of postings without encoding.
+func PostingsLen(postings []Posting, prev uint32) int {
+	n := 0
+	last := prev
+	for _, p := range postings {
+		n += Len64(uint64(p.ID - last))
+		n += Len64(uint64(p.Length))
+		last = p.ID
+	}
+	return n
+}

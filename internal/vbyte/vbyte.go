@@ -1,0 +1,80 @@
+// Package vbyte implements the byte-wise variable-length integer coding of
+// Williams & Zobel ("Compressing Integers for Fast File Access", 1999) that
+// the paper adopts for posting compression (§3, "Compression"; §5 uses
+// "v-byte compression" for both the d-gaps of record ids and the stored
+// record lengths).
+//
+// Each byte carries 7 payload bits; the high bit is a continuation flag
+// (1 = more bytes follow). Values are encoded little-endian by 7-bit group.
+package vbyte
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated reports a decode that ran off the end of its buffer.
+var ErrTruncated = errors.New("vbyte: truncated value")
+
+// ErrOverflow reports an encoded value wider than 64 bits.
+var ErrOverflow = errors.New("vbyte: value overflows uint64")
+
+// MaxLen64 is the maximum encoded size of a uint64.
+const MaxLen64 = 10
+
+// AppendUint64 appends the v-byte encoding of v to dst and returns the
+// extended slice.
+func AppendUint64(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// Uint64 decodes one value from buf, returning it and the number of bytes
+// consumed.
+func Uint64(buf []byte) (v uint64, n int, err error) {
+	var shift uint
+	for i, b := range buf {
+		if i == MaxLen64 {
+			return 0, 0, ErrOverflow
+		}
+		if b < 0x80 {
+			if i == MaxLen64-1 && b > 1 {
+				return 0, 0, ErrOverflow
+			}
+			return v | uint64(b)<<shift, i + 1, nil
+		}
+		v |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+	return 0, 0, ErrTruncated
+}
+
+// AppendUint32 appends the v-byte encoding of v.
+func AppendUint32(dst []byte, v uint32) []byte {
+	return AppendUint64(dst, uint64(v))
+}
+
+// Uint32 decodes one 32-bit value from buf.
+func Uint32(buf []byte) (uint32, int, error) {
+	v, n, err := Uint64(buf)
+	if err != nil {
+		return 0, 0, err
+	}
+	if v > 0xFFFFFFFF {
+		return 0, 0, fmt.Errorf("%w: %d does not fit in 32 bits", ErrOverflow, v)
+	}
+	return uint32(v), n, nil
+}
+
+// Len64 returns the encoded size of v in bytes without encoding it.
+func Len64(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

@@ -1,0 +1,246 @@
+// Package workload generates containment-query workloads the way the
+// paper does (§5, "Queries"): "we evaluated our proposal using queries
+// that always have an answer ... we created such queries by using
+// existing set-values, selected uniformly from all D". For a requested
+// |qs|, subset queries sample |qs| items from an existing record (the
+// record itself is then an answer), equality queries take a record of
+// exactly that cardinality, and superset queries extend a record of at
+// most that cardinality with random extra items (the record stays an
+// answer).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// Kind is a containment predicate.
+type Kind int
+
+// The three predicates of the paper.
+const (
+	Subset Kind = iota
+	Equality
+	Superset
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Subset:
+		return "subset"
+	case Equality:
+		return "equality"
+	case Superset:
+		return "superset"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Query is one generated query.
+type Query struct {
+	Kind  Kind
+	Items []dataset.Item // sorted ascending, distinct
+}
+
+// Generator draws queries from a dataset.
+type Generator struct {
+	d   *dataset.Dataset
+	rng *rand.Rand
+
+	bySize map[int][]int // record positions grouped by cardinality
+	sizes  []int         // cardinalities present, ascending
+}
+
+// NewGenerator prepares a generator with its own deterministic stream.
+func NewGenerator(d *dataset.Dataset, seed int64) *Generator {
+	g := &Generator{
+		d:      d,
+		rng:    rand.New(rand.NewSource(seed)),
+		bySize: make(map[int][]int),
+	}
+	for i := 0; i < d.Len(); i++ {
+		n := len(d.Record(i).Set)
+		g.bySize[n] = append(g.bySize[n], i)
+	}
+	for n := range g.bySize {
+		g.sizes = append(g.sizes, n)
+	}
+	sort.Ints(g.sizes)
+	return g
+}
+
+// maxTries bounds rejection sampling before giving up on a size.
+const maxTries = 10000
+
+// recordWithAtLeast picks a uniform record with cardinality >= n, or -1.
+func (g *Generator) recordWithAtLeast(n int) int {
+	for try := 0; try < maxTries; try++ {
+		i := g.rng.Intn(g.d.Len())
+		if len(g.d.Record(i).Set) >= n {
+			return i
+		}
+	}
+	// Deterministic fallback: any qualifying size class.
+	for _, s := range g.sizes {
+		if s >= n {
+			class := g.bySize[s]
+			return class[g.rng.Intn(len(class))]
+		}
+	}
+	return -1
+}
+
+// SubsetQueries returns count subset queries of the given size. Fewer are
+// returned when the dataset cannot support the size.
+func (g *Generator) SubsetQueries(size, count int) []Query {
+	var out []Query
+	for len(out) < count {
+		i := g.recordWithAtLeast(size)
+		if i < 0 {
+			break
+		}
+		set := g.d.Record(i).Set
+		items := sampleK(g.rng, set, size)
+		out = append(out, Query{Kind: Subset, Items: items})
+	}
+	return out
+}
+
+// EqualityQueries returns count equality queries of the given size, each
+// the exact set of some record.
+func (g *Generator) EqualityQueries(size, count int) []Query {
+	class := g.bySize[size]
+	if len(class) == 0 {
+		return nil
+	}
+	out := make([]Query, 0, count)
+	for len(out) < count {
+		i := class[g.rng.Intn(len(class))]
+		items := append([]dataset.Item(nil), g.d.Record(i).Set...)
+		out = append(out, Query{Kind: Equality, Items: items})
+	}
+	return out
+}
+
+// SubsetQueriesWithItem returns count subset queries of the given size
+// that all include the given item, sampling the remaining items from an
+// existing record containing it. This models the workload skew the
+// paper's introduction cites ("users usually pose queries involving the
+// most frequent items in the dataset"). Returns nil if no record of
+// sufficient cardinality contains the item.
+func (g *Generator) SubsetQueriesWithItem(item dataset.Item, size, count int) []Query {
+	if size < 1 {
+		return nil
+	}
+	// Collect candidate records once.
+	var holders []int
+	for i := 0; i < g.d.Len(); i++ {
+		r := g.d.Record(i)
+		if len(r.Set) >= size && r.Contains(item) {
+			holders = append(holders, i)
+		}
+	}
+	if len(holders) == 0 {
+		return nil
+	}
+	out := make([]Query, 0, count)
+	for len(out) < count {
+		rec := g.d.Record(holders[g.rng.Intn(len(holders))])
+		rest := make([]dataset.Item, 0, len(rec.Set)-1)
+		for _, it := range rec.Set {
+			if it != item {
+				rest = append(rest, it)
+			}
+		}
+		items := sampleK(g.rng, rest, size-1)
+		items = append(items, item)
+		sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+		out = append(out, Query{Kind: Subset, Items: items})
+	}
+	return out
+}
+
+// SupersetQueries returns count superset queries of the given size: an
+// existing record's set padded with distinct random items up to size.
+func (g *Generator) SupersetQueries(size, count int) []Query {
+	if size > g.d.DomainSize() {
+		size = g.d.DomainSize()
+	}
+	var out []Query
+	for len(out) < count {
+		i := g.recordWithAtMost(size)
+		if i < 0 {
+			break
+		}
+		base := g.d.Record(i).Set
+		items := padTo(g.rng, base, size, g.d.DomainSize())
+		out = append(out, Query{Kind: Superset, Items: items})
+	}
+	return out
+}
+
+// recordWithAtMost picks a uniform record with 1 <= cardinality <= n.
+func (g *Generator) recordWithAtMost(n int) int {
+	for try := 0; try < maxTries; try++ {
+		i := g.rng.Intn(g.d.Len())
+		if l := len(g.d.Record(i).Set); l >= 1 && l <= n {
+			return i
+		}
+	}
+	for _, s := range g.sizes {
+		if s >= 1 && s <= n {
+			class := g.bySize[s]
+			return class[g.rng.Intn(len(class))]
+		}
+	}
+	return -1
+}
+
+// Queries generates count queries of kind and size.
+func (g *Generator) Queries(kind Kind, size, count int) []Query {
+	switch kind {
+	case Subset:
+		return g.SubsetQueries(size, count)
+	case Equality:
+		return g.EqualityQueries(size, count)
+	case Superset:
+		return g.SupersetQueries(size, count)
+	default:
+		return nil
+	}
+}
+
+// sampleK draws k distinct elements of set uniformly, sorted ascending.
+func sampleK(rng *rand.Rand, set []dataset.Item, k int) []dataset.Item {
+	idx := rng.Perm(len(set))[:k]
+	out := make([]dataset.Item, 0, k)
+	for _, i := range idx {
+		out = append(out, set[i])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// padTo extends base with distinct random items until it has size
+// elements, sorted ascending.
+func padTo(rng *rand.Rand, base []dataset.Item, size, domain int) []dataset.Item {
+	present := make(map[dataset.Item]bool, size)
+	out := make([]dataset.Item, 0, size)
+	for _, it := range base {
+		present[it] = true
+		out = append(out, it)
+	}
+	for len(out) < size {
+		it := dataset.Item(rng.Intn(domain))
+		if !present[it] {
+			present[it] = true
+			out = append(out, it)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/naive"
+)
+
+func genData(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.GenerateSynthetic(dataset.SyntheticConfig{
+		NumRecords: 3000, DomainSize: 100, MinLen: 2, MaxLen: 12, ZipfTheta: 0.8, Seed: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSubsetQueriesAlwaysHaveAnswers(t *testing.T) {
+	d := genData(t)
+	g := NewGenerator(d, 1)
+	for _, size := range []int{2, 4, 7} {
+		qs := g.SubsetQueries(size, 10)
+		if len(qs) != 10 {
+			t.Fatalf("size %d: got %d queries", size, len(qs))
+		}
+		for _, q := range qs {
+			if len(q.Items) != size {
+				t.Fatalf("query has %d items, want %d", len(q.Items), size)
+			}
+			if q.Kind != Subset {
+				t.Fatal("wrong kind")
+			}
+			if len(naive.Subset(d, q.Items)) == 0 {
+				t.Fatalf("subset query %v has no answers", q.Items)
+			}
+			assertCanonical(t, q.Items)
+		}
+	}
+}
+
+func TestEqualityQueriesAlwaysHaveAnswers(t *testing.T) {
+	d := genData(t)
+	g := NewGenerator(d, 2)
+	for _, size := range []int{2, 5, 9} {
+		qs := g.EqualityQueries(size, 10)
+		if len(qs) == 0 {
+			t.Fatalf("no equality queries of size %d", size)
+		}
+		for _, q := range qs {
+			if len(q.Items) != size {
+				t.Fatalf("query has %d items, want %d", len(q.Items), size)
+			}
+			if len(naive.Equality(d, q.Items)) == 0 {
+				t.Fatalf("equality query %v has no answers", q.Items)
+			}
+		}
+	}
+}
+
+func TestEqualityQueriesImpossibleSize(t *testing.T) {
+	d := genData(t)
+	g := NewGenerator(d, 3)
+	if qs := g.EqualityQueries(50, 10); qs != nil {
+		t.Fatalf("got %d queries for impossible size", len(qs))
+	}
+}
+
+func TestSupersetQueriesAlwaysHaveAnswers(t *testing.T) {
+	d := genData(t)
+	g := NewGenerator(d, 4)
+	for _, size := range []int{3, 6, 12, 20} {
+		qs := g.SupersetQueries(size, 10)
+		if len(qs) != 10 {
+			t.Fatalf("size %d: got %d queries", size, len(qs))
+		}
+		for _, q := range qs {
+			if len(q.Items) != size {
+				t.Fatalf("query has %d items, want %d", len(q.Items), size)
+			}
+			if len(naive.Superset(d, q.Items)) == 0 {
+				t.Fatalf("superset query %v has no answers", q.Items)
+			}
+			assertCanonical(t, q.Items)
+		}
+	}
+}
+
+func TestQueriesDispatch(t *testing.T) {
+	d := genData(t)
+	g := NewGenerator(d, 5)
+	for _, k := range []Kind{Subset, Equality, Superset} {
+		qs := g.Queries(k, 3, 5)
+		if len(qs) == 0 {
+			t.Fatalf("no %v queries", k)
+		}
+		for _, q := range qs {
+			if q.Kind != k {
+				t.Fatalf("kind = %v, want %v", q.Kind, k)
+			}
+		}
+	}
+	if got := g.Queries(Kind(99), 3, 5); got != nil {
+		t.Fatal("unknown kind returned queries")
+	}
+	if Subset.String() != "subset" || Equality.String() != "equality" || Superset.String() != "superset" {
+		t.Fatal("Kind.String wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown Kind.String empty")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	d := genData(t)
+	a := NewGenerator(d, 7).SubsetQueries(4, 10)
+	b := NewGenerator(d, 7).SubsetQueries(4, 10)
+	for i := range a {
+		for j := range a[i].Items {
+			if a[i].Items[j] != b[i].Items[j] {
+				t.Fatal("same seed produced different workloads")
+			}
+		}
+	}
+}
+
+func assertCanonical(t *testing.T, items []dataset.Item) {
+	t.Helper()
+	for i := 1; i < len(items); i++ {
+		if items[i] <= items[i-1] {
+			t.Fatalf("items not sorted/distinct: %v", items)
+		}
+	}
+}
+
+// TestSubsetSelectivityShape loosely checks the paper's observation that
+// larger |qs| gives more selective subset queries.
+func TestSubsetSelectivityShape(t *testing.T) {
+	d := genData(t)
+	g := NewGenerator(d, 8)
+	avg := func(size int) float64 {
+		qs := g.SubsetQueries(size, 20)
+		total := 0
+		for _, q := range qs {
+			total += len(naive.Subset(d, q.Items))
+		}
+		return float64(total) / float64(len(qs))
+	}
+	if a2, a6 := avg(2), avg(6); a6 > a2 {
+		t.Fatalf("|qs|=6 avg answers %.1f > |qs|=2 avg %.1f; selectivity shape broken", a6, a2)
+	}
+}

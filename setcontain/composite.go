@@ -1,0 +1,169 @@
+package setcontain
+
+import (
+	"errors"
+	"sort"
+)
+
+// Composite is a conjunctive combination of containment constraints —
+// the "composite predicates" the paper lists as future work (§7). All
+// clauses must hold simultaneously:
+//
+//	AllOf:  every listed item appears in the record  (subset semantics)
+//	NoneOf: no listed item appears in the record
+//	Within: every record item comes from this set    (superset semantics)
+//
+// Empty clauses are unconstrained; an entirely empty Composite matches
+// every record.
+type Composite struct {
+	AllOf  []Item
+	NoneOf []Item
+	Within []Item
+}
+
+// Query evaluates a composite predicate with set algebra over the index's
+// primitive predicates: the AllOf clause drives (or Within when AllOf is
+// empty), the other clauses intersect/subtract. Works uniformly across
+// index kinds.
+func (ix *Index) Query(c Composite) ([]uint32, error) {
+	var result []uint32
+	var err error
+	driven := false
+
+	if len(c.AllOf) > 0 {
+		result, err = ix.Subset(c.AllOf)
+		if err != nil {
+			return nil, err
+		}
+		driven = true
+	}
+	if len(c.Within) > 0 {
+		within, err := ix.Superset(c.Within)
+		if err != nil {
+			return nil, err
+		}
+		if driven {
+			result = intersectSorted(result, within)
+		} else {
+			result = within
+			driven = true
+		}
+	}
+	if !driven {
+		// No positive clause: start from every record.
+		result, err = ix.Subset(nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(result) == 0 || len(c.NoneOf) == 0 {
+		return result, nil
+	}
+
+	// Subtract records containing any forbidden item. One single-item
+	// subset query per distinct forbidden item keeps the I/O proportional
+	// to the clause size.
+	forbidden := append([]Item(nil), c.NoneOf...)
+	sort.Slice(forbidden, func(i, j int) bool { return forbidden[i] < forbidden[j] })
+	for i, it := range forbidden {
+		if i > 0 && it == forbidden[i-1] {
+			continue
+		}
+		holders, err := ix.Subset([]Item{it})
+		if err != nil {
+			return nil, err
+		}
+		result = subtractSorted(result, holders)
+		if len(result) == 0 {
+			break
+		}
+	}
+	return result, nil
+}
+
+// intersectSorted returns a ∩ b for ascending id slices.
+func intersectSorted(a, b []uint32) []uint32 {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// subtractSorted returns a \ b for ascending id slices.
+func subtractSorted(a, b []uint32) []uint32 {
+	out := a[:0]
+	j := 0
+	for _, v := range a {
+		for j < len(b) && b[j] < v {
+			j++
+		}
+		if j < len(b) && b[j] == v {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// JoinInto streams an index-nested-loops containment join: for every
+// record of outer it reports the ids of idx-records related by pred, via
+// fn(outerID, innerIDs). Subset means "inner contains the outer record";
+// Superset means "inner is contained in the outer record"; Equality means
+// exact duplicates across the two collections. Set-containment joins are
+// the classic application of these indexes (the paper's §6 survey); this
+// is the straightforward index-driven evaluation.
+//
+// fn returning a non-nil error aborts the join with that error.
+func (ix *Index) JoinInto(outer *Collection, pred Predicate, fn func(outerID uint32, innerIDs []uint32) error) error {
+	for id := uint32(1); int(id) <= outer.Len(); id++ {
+		set, err := outer.Record(id)
+		if err != nil {
+			return err
+		}
+		var inner []uint32
+		switch pred {
+		case PredicateSubset:
+			inner, err = ix.Subset(set)
+		case PredicateEquality:
+			inner, err = ix.Equality(set)
+		case PredicateSuperset:
+			inner, err = ix.Superset(set)
+		default:
+			return ErrUnknownPredicate
+		}
+		if err != nil {
+			return err
+		}
+		if len(inner) == 0 {
+			continue
+		}
+		if err := fn(id, inner); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Predicate names one of the three containment relations for JoinInto.
+type Predicate int
+
+// The containment relations.
+const (
+	PredicateSubset Predicate = iota
+	PredicateEquality
+	PredicateSuperset
+)
+
+// ErrUnknownPredicate reports an invalid Predicate value.
+var ErrUnknownPredicate = errors.New("setcontain: unknown predicate")

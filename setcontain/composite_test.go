@@ -1,0 +1,185 @@
+package setcontain
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// naiveComposite evaluates a Composite by brute force for the oracle.
+func naiveComposite(t *testing.T, c *Collection, q Composite) []uint32 {
+	t.Helper()
+	inSet := func(set []Item, it Item) bool {
+		for _, v := range set {
+			if v == it {
+				return true
+			}
+		}
+		return false
+	}
+	var out []uint32
+	for id := uint32(1); int(id) <= c.Len(); id++ {
+		set, err := c.Record(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := true
+		for _, it := range q.AllOf {
+			if !inSet(set, it) {
+				ok = false
+			}
+		}
+		for _, it := range q.NoneOf {
+			if inSet(set, it) {
+				ok = false
+			}
+		}
+		if len(q.Within) > 0 {
+			for _, it := range set {
+				if !inSet(q.Within, it) {
+					ok = false
+				}
+			}
+		}
+		if ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func TestCompositeAgainstOracle(t *testing.T) {
+	c := sampleCollection(t)
+	for _, kind := range []Kind{OIF, InvertedFile, UnorderedBTree} {
+		ix, err := Build(c, Options{Kind: kind, PageSize: 512, BlockPostings: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(81))
+		for trial := 0; trial < 120; trial++ {
+			q := Composite{}
+			if rng.Intn(2) == 0 {
+				for i := 0; i < 1+rng.Intn(3); i++ {
+					q.AllOf = append(q.AllOf, Item(rng.Intn(40)))
+				}
+			}
+			if rng.Intn(2) == 0 {
+				for i := 0; i < 1+rng.Intn(3); i++ {
+					q.NoneOf = append(q.NoneOf, Item(rng.Intn(40)))
+				}
+			}
+			if rng.Intn(3) == 0 {
+				for i := 0; i < 5+rng.Intn(10); i++ {
+					q.Within = append(q.Within, Item(rng.Intn(40)))
+				}
+			}
+			got, err := ix.Query(q)
+			if err != nil {
+				t.Fatalf("%v Query(%+v): %v", kind, q, err)
+			}
+			want := naiveComposite(t, c, q)
+			if len(got) != len(want) {
+				t.Fatalf("%v Query(%+v) = %d ids, want %d", kind, q, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v Query(%+v) diverges at %d", kind, q, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCompositeEmptyMatchesAll(t *testing.T) {
+	c := sampleCollection(t)
+	ix, err := Build(c, Options{PageSize: 512, BlockPostings: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.Query(Composite{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != c.Len() {
+		t.Fatalf("empty composite matched %d of %d", len(got), c.Len())
+	}
+}
+
+func TestJoinAgainstOracle(t *testing.T) {
+	// Outer: 200 small sets; inner: the sample collection.
+	inner := sampleCollection(t)
+	ix, err := Build(inner, Options{PageSize: 512, BlockPostings: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := NewCollection(40)
+	rng := rand.New(rand.NewSource(82))
+	for i := 0; i < 200; i++ {
+		k := 1 + rng.Intn(3)
+		set := make([]Item, k)
+		for j := range set {
+			set[j] = Item(rng.Intn(40))
+		}
+		if _, err := outer.Add(set); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var pairs int
+	err = ix.JoinInto(outer, PredicateSubset, func(outerID uint32, innerIDs []uint32) error {
+		oSet, err := outer.Record(outerID)
+		if err != nil {
+			return err
+		}
+		want, err := ix.Subset(oSet)
+		if err != nil {
+			return err
+		}
+		if len(want) != len(innerIDs) {
+			t.Fatalf("join row %d: %d ids, want %d", outerID, len(innerIDs), len(want))
+		}
+		pairs += len(innerIDs)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pairs == 0 {
+		t.Fatal("join produced no pairs")
+	}
+
+	// Error propagation from the sink.
+	boom := errors.New("sink failed")
+	err = ix.JoinInto(outer, PredicateSubset, func(uint32, []uint32) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("join error = %v, want sink error", err)
+	}
+	// Invalid predicate.
+	if err := ix.JoinInto(outer, Predicate(9), func(uint32, []uint32) error { return nil }); !errors.Is(err, ErrUnknownPredicate) {
+		t.Fatalf("bad predicate error = %v", err)
+	}
+}
+
+func TestJoinEqualityFindsDuplicatesAcrossCollections(t *testing.T) {
+	a := NewCollection(10)
+	b := NewCollection(10)
+	a.Add([]Item{1, 2})
+	a.Add([]Item{3})
+	b.Add([]Item{1, 2})
+	b.Add([]Item{4, 5})
+	b.Add([]Item{1, 2})
+	ix, err := Build(b, Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches := map[uint32][]uint32{}
+	if err := ix.JoinInto(a, PredicateEquality, func(o uint32, in []uint32) error {
+		matches[o] = append([]uint32(nil), in...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 || len(matches[1]) != 2 {
+		t.Fatalf("equality join = %v, want outer 1 -> two inner ids", matches)
+	}
+}
