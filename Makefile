@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: all build vet test bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x .
+
+check: build vet test

@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/storage"
 	"repro/internal/workload"
+	"repro/setcontain"
 )
 
 // benchCfg is the shared scale for the root benches: big enough for
@@ -219,15 +221,15 @@ func BenchmarkSpaceBuild(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("IF", func(b *testing.B) {
-		var pages int64
+		var bytes int64
 		for i := 0; i < b.N; i++ {
 			pair, err := cfg.BuildPair(d)
 			if err != nil {
 				b.Fatal(err)
 			}
-			pages = pair.IF.ListPages()
+			bytes = pair.IF.Space().Bytes
 		}
-		b.ReportMetric(float64(pages*int64(cfg.PageSize)), "bytes")
+		b.ReportMetric(float64(bytes), "bytes")
 	})
 	b.Run("OIF", func(b *testing.B) {
 		var bytes int64
@@ -236,10 +238,49 @@ func BenchmarkSpaceBuild(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			bytes = pair.OIF.Space().TreeBytes
+			bytes = pair.OIF.Space().Bytes
 		}
 		b.ReportMetric(float64(bytes), "bytes")
 	})
+}
+
+// --- Store: parallel traffic through the public facade ------------------
+
+// BenchmarkStoreExecBatch measures batched parallel queries through
+// setcontain.Store — the concurrency surface the ROADMAP's heavy-traffic
+// goal rides on — against the same engines the figures use.
+func BenchmarkStoreExecBatch(b *testing.B) {
+	pair, gen := synthFixture(b)
+	var queries []setcontain.Query
+	for _, kind := range []workload.Kind{workload.Subset, workload.Equality, workload.Superset} {
+		for _, q := range gen.Queries(kind, 4, 10) {
+			pq, err := experiments.AsQuery(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			queries = append(queries, pq)
+		}
+	}
+	if len(queries) == 0 {
+		b.Skip("no queries available at this scale")
+	}
+	ctx := context.Background()
+	for _, sys := range []struct {
+		name string
+		eng  setcontain.Engine
+	}{{"IF", pair.IF}, {"OIF", pair.OIF}} {
+		b.Run(sys.name, func(b *testing.B) {
+			store := setcontain.NewStore(setcontain.IndexOver(sys.eng), 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := store.ExecBatch(ctx, queries); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(queries)), "queries/batch")
+		})
+	}
 }
 
 // --- Performance summary: update path (§4.4 / §5) -----------------------

@@ -21,11 +21,14 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/workload"
+	"repro/setcontain"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "one of: all, fig7, fig8, fig9, fig10, space, ordering, summary, ablations")
+		experiment = flag.String("experiment", "all", "one of: all (= every paper artefact: fig7-fig10, space, ordering, summary, ablations), or concurrency (extra-paper Store sweep, run explicitly)")
+		engine     = flag.String("engine", "oif", "engine for -experiment concurrency: oif, if, or ubt")
+		workers    = flag.Int("workers", 8, "max goroutines for -experiment concurrency (swept 1,2,4,...)")
 		scale      = flag.Float64("scale", 0.01, "fraction of the paper's synthetic |D| (1.0 = paper scale)")
 		realScale  = flag.Float64("realscale", 0.1, "fraction of the real-dataset twins' record counts")
 		queries    = flag.Int("queries", 10, "queries per size and type (the paper uses 10)")
@@ -66,6 +69,14 @@ func main() {
 		_, err = experiments.RunSummary(cfg)
 	case "ablations":
 		_, err = experiments.RunAblations(cfg)
+	case "concurrency":
+		var kind setcontain.Kind
+		kind, err = setcontain.ParseKind(*engine)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oifbench: %v\n", err)
+			os.Exit(2)
+		}
+		_, err = experiments.RunConcurrency(cfg, kind, *workers)
 	default:
 		fmt.Fprintf(os.Stderr, "oifbench: unknown experiment %q\n", *experiment)
 		flag.Usage()

@@ -62,16 +62,9 @@ func main() {
 		repl(idx, nil, *maxShow)
 		return
 	}
-	var kind setcontain.Kind
-	switch strings.ToLower(*kindName) {
-	case "oif":
-		kind = setcontain.OIF
-	case "if":
-		kind = setcontain.InvertedFile
-	case "ubt":
-		kind = setcontain.UnorderedBTree
-	default:
-		fmt.Fprintf(os.Stderr, "oifquery: unknown index kind %q\n", *kindName)
+	kind, err := setcontain.ParseKind(*kindName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oifquery: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -83,7 +76,7 @@ func main() {
 	fmt.Printf("loaded %d records over %d items; building %s index...\n",
 		coll.Len(), coll.DomainSize(), kind)
 	start := time.Now()
-	idx, err := setcontain.Build(coll, setcontain.Options{Kind: kind})
+	idx, err := setcontain.New(coll, setcontain.WithKind(kind))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "oifquery: build: %v\n", err)
 		os.Exit(1)
@@ -130,30 +123,28 @@ func repl(idx *setcontain.Index, coll *setcontain.Collection, maxShow int) {
 			fmt.Printf("page reads: %d (seq %d, near %d, random %d), cache hits: %d\n",
 				st.PageReads, st.Sequential, st.Near, st.Random, st.Hits)
 		case "subset", "equality", "superset":
-			qs, err := parseItems(fields[1:])
+			pred, err := setcontain.ParsePredicate(cmd)
 			if err != nil {
 				fmt.Println(err)
 				continue
 			}
-			var ids []uint32
-			t0 := time.Now()
-			switch cmd {
-			case "subset":
-				ids, err = idx.Subset(qs)
-			case "equality":
-				ids, err = idx.Equality(qs)
-			default:
-				ids, err = idx.Superset(qs)
-			}
+			items, err := parseItems(fields[1:])
 			if err != nil {
 				fmt.Println(err)
+				continue
+			}
+			q := setcontain.Query{Pred: pred, Items: items}
+			t0 := time.Now()
+			ids, err := idx.Eval(q)
+			if err != nil {
+				fmt.Printf("%s: %v\n", q, err)
 				continue
 			}
 			show := ids
 			if len(show) > maxShow {
 				show = show[:maxShow]
 			}
-			fmt.Printf("%d records in %v: %v", len(ids), time.Since(t0).Round(time.Microsecond), show)
+			fmt.Printf("%s: %d records in %v: %v", q, len(ids), time.Since(t0).Round(time.Microsecond), show)
 			if len(ids) > maxShow {
 				fmt.Printf(" ... (+%d more)", len(ids)-maxShow)
 			}

@@ -43,7 +43,7 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	idx, err := setcontain.Build(baskets, setcontain.Options{})
+	idx, err := setcontain.New(baskets)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -67,11 +67,11 @@ func main() {
 	fmt.Printf("indexed %d baskets over %d products (Zipf %.1f popularity)\n\n",
 		coll.Len(), coll.DomainSize(), zipfTheta)
 
-	oif, err := setcontain.Build(coll, setcontain.Options{Kind: setcontain.OIF})
+	oif, err := setcontain.New(coll, setcontain.WithKind(setcontain.OIF))
 	if err != nil {
 		log.Fatal(err)
 	}
-	inv, err := setcontain.Build(coll, setcontain.Options{Kind: setcontain.InvertedFile})
+	inv, err := setcontain.New(coll, setcontain.WithKind(setcontain.InvertedFile))
 	if err != nil {
 		log.Fatal(err)
 	}

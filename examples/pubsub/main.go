@@ -7,9 +7,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"sync"
 
 	"repro/setcontain"
 )
@@ -46,16 +48,16 @@ func main() {
 		}
 	}
 
-	idx, err := setcontain.Build(coll, setcontain.Options{})
+	idx, err := setcontain.New(coll)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("registered %d subscriptions over %d tags\n\n", coll.Len(), numTags)
 
-	// Dispatch a stream of events; each event carries 3..10 tags.
+	// Generate a stream of events; each event carries 3..10 tags.
 	const events = 200
-	var totalMatches, maxMatches int
-	for e := 0; e < events; e++ {
+	queries := make([]setcontain.Query, events)
+	for e := range queries {
 		n := 3 + rng.Intn(8)
 		seen := map[setcontain.Item]bool{}
 		tags := make([]setcontain.Item, 0, n)
@@ -70,31 +72,53 @@ func main() {
 				tags = append(tags, tag)
 			}
 		}
-		matches, err := idx.Superset(tags)
-		if err != nil {
-			log.Fatal(err)
-		}
-		totalMatches += len(matches)
-		if len(matches) > maxMatches {
-			maxMatches = len(matches)
+		queries[e] = setcontain.SupersetQuery(tags)
+	}
+
+	// Dispatch concurrently: a Store hands each goroutine an isolated
+	// pooled reader, so brokers match events in parallel over the one
+	// index. Real dispatchers would plumb per-request contexts through.
+	ctx := context.Background()
+	store := setcontain.NewStore(idx, 0)
+	const brokers = 4
+	matchCounts := make([]int, events)
+	var wg sync.WaitGroup
+	for b := 0; b < brokers; b++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for e := shard; e < events; e += brokers {
+				matches, err := store.Exec(ctx, queries[e])
+				if err != nil {
+					log.Fatal(err)
+				}
+				matchCounts[e] = len(matches)
+			}
+		}(b)
+	}
+	wg.Wait()
+
+	var totalMatches, maxMatches int
+	for e, n := range matchCounts {
+		totalMatches += n
+		if n > maxMatches {
+			maxMatches = n
 		}
 		if e < 3 {
-			fmt.Printf("event %d with tags %v matched %d subscriptions\n", e+1, tags, len(matches))
+			fmt.Printf("event %d as %s matched %d subscriptions\n", e+1, queries[e], n)
 		}
 	}
-	fmt.Printf("...\ndispatched %d events: %.1f matched subscriptions on average, %d max\n",
-		events, float64(totalMatches)/events, maxMatches)
+	fmt.Printf("...\ndispatched %d events across %d brokers: %.1f matched subscriptions on average, %d max\n",
+		events, brokers, float64(totalMatches)/events, maxMatches)
 
-	st := idx.CacheStats()
-	fmt.Printf("page reads across the stream: %d (%.1f per event; seq %d, near %d, random %d)\n",
-		st.PageReads, float64(st.PageReads)/events, st.Sequential, st.Near, st.Random)
-
-	// Subscriptions churn: register a new one mid-stream.
+	// Subscriptions churn: register a new one mid-stream. Refresh tells
+	// the store to retire its pooled readers so the insert is visible.
 	id, err := idx.Insert([]setcontain.Item{1, 2})
 	if err != nil {
 		log.Fatal(err)
 	}
-	m, err := idx.Superset([]setcontain.Item{0, 1, 2, 3})
+	store.Refresh()
+	m, err := store.Exec(ctx, setcontain.SupersetQuery([]setcontain.Item{0, 1, 2, 3}))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -39,17 +39,17 @@ func main() {
 		}
 	}
 
-	idx, err := setcontain.Build(coll, setcontain.Options{}) // OIF by default
+	idx, err := setcontain.New(coll) // OIF by default
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	show := func(name string, qs []setcontain.Item, ids []uint32) {
-		labels := make([]string, len(qs))
-		for i, it := range qs {
+	show := func(q setcontain.Query, ids []uint32) {
+		labels := make([]string, len(q.Items))
+		for i, it := range q.Items {
 			labels[i] = coll.Label(it)
 		}
-		fmt.Printf("%-9s %v -> records %v\n", name, labels, ids)
+		fmt.Printf("%-9s %v -> records %v\n", q.Pred, labels, ids)
 		for _, id := range ids {
 			set, _ := coll.Record(id)
 			names := make([]string, len(set))
@@ -62,26 +62,48 @@ func main() {
 
 	// "Which records contain both a and d?" — the paper's §2 subset
 	// example; the answer is records 101, 104, 114 (here ids 1, 4, 14).
-	ids, err := idx.Subset([]setcontain.Item{a, d})
+	// Queries are first-class values evaluated against the index.
+	q := setcontain.SubsetQuery([]setcontain.Item{a, d})
+	ids, err := idx.Eval(q)
 	if err != nil {
 		log.Fatal(err)
 	}
-	show("subset", []setcontain.Item{a, d}, ids)
+	show(q, ids)
 
 	// "Which records are exactly {a, b, d}?"
-	ids, err = idx.Equality([]setcontain.Item{a, b, d})
+	q = setcontain.EqualityQuery([]setcontain.Item{a, b, d})
+	ids, err = idx.Eval(q)
 	if err != nil {
 		log.Fatal(err)
 	}
-	show("equality", []setcontain.Item{a, b, d}, ids)
+	show(q, ids)
 
 	// "Which records contain only items from {a, c}?" — the paper's §2
 	// superset example; the answer is records 106 and 113 (ids 6, 13).
-	ids, err = idx.Superset([]setcontain.Item{a, c})
+	q = setcontain.SupersetQuery([]setcontain.Item{a, c})
+	ids, err = idx.Eval(q)
 	if err != nil {
 		log.Fatal(err)
 	}
-	show("superset", []setcontain.Item{a, c}, ids)
+	show(q, ids)
+
+	// Large answers can be consumed as a stream instead of a slice: here
+	// the single-item subset of {a} — the most frequent item — iterated
+	// lazily and abandoned after the first three ids.
+	seq, err := idx.SubsetSeq([]setcontain.Item{a})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstreaming subset{%s}:", coll.Label(a))
+	taken := 0
+	for id := range seq {
+		fmt.Printf(" %d", id)
+		if taken++; taken == 3 {
+			fmt.Printf(" ...")
+			break
+		}
+	}
+	fmt.Println()
 
 	st := idx.CacheStats()
 	fmt.Printf("\nindex: %s; page reads: %d (seq %d, near %d, random %d)\n",

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -56,7 +57,7 @@ func main() {
 		}
 	}
 
-	idx, err := setcontain.Build(coll, setcontain.Options{})
+	idx, err := setcontain.New(coll)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -96,13 +97,20 @@ func main() {
 	fmt.Printf("sessions exactly equal to %v: %d\n", name(q), len(exact))
 
 	// Funnel report: for each area, how many sessions never left it?
+	// One equality query per area, executed as a batch across the
+	// store's pooled readers.
+	batch := make([]setcontain.Query, len(areas))
+	for it := range batch {
+		batch[it] = setcontain.EqualityQuery([]setcontain.Item{setcontain.Item(it)})
+	}
+	store := setcontain.NewStore(idx, 0)
+	answers, err := store.ExecBatch(context.Background(), batch)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\nsingle-area sessions per area:")
-	for it := setcontain.Item(0); int(it) < len(areas); it++ {
-		ids, err := idx.Equality([]setcontain.Item{it})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("  %-10s %6d\n", coll.Label(it), len(ids))
+	for it, ids := range answers {
+		fmt.Printf("  %-10s %6d\n", coll.Label(setcontain.Item(it)), len(ids))
 	}
 
 	st := idx.CacheStats()

@@ -49,3 +49,6 @@ func (r *Reader) Stats() storage.AccessStats { return r.pool.Stats() }
 
 // ResetStats zeroes this reader's statistics.
 func (r *Reader) ResetStats() { r.pool.ResetStats() }
+
+// Pool returns the reader's private buffer pool.
+func (r *Reader) Pool() *storage.BufferPool { return r.pool }

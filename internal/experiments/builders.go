@@ -7,33 +7,51 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/invfile"
 	"repro/internal/ubtree"
+	"repro/setcontain"
 )
 
-// Pair is an IF + OIF built over the same dataset and metered for
-// measurement.
+// Pair is an IF + OIF engine built over the same dataset and metered for
+// measurement. The engines answer through the public setcontain.Engine
+// interface; backend-specific quantities (space breakdowns, the OIF
+// ordering) are reached through Engine.Unwrap.
 type Pair struct {
 	Data *dataset.Dataset
-	IF   *invfile.Index
-	OIF  *core.Index
+	IF   setcontain.Engine
+	OIF  setcontain.Engine
 }
 
-// BuildPair constructs and meters both competing indexes.
+// UnwrapOIF returns the pair's backing core index for the experiments
+// that need the OIF's internals (ordering, space breakdown).
+func (p *Pair) UnwrapOIF() *core.Index { return p.OIF.Unwrap().(*core.Index) }
+
+// UnwrapIF returns the pair's backing inverted-file index.
+func (p *Pair) UnwrapIF() *invfile.Index { return p.IF.Unwrap().(*invfile.Index) }
+
+// BuildPair constructs and meters both competing engines.
 func (c Config) BuildPair(d *dataset.Dataset) (*Pair, error) {
 	ifx, err := invfile.Build(d, invfile.BuildOptions{PageSize: c.PageSize})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: build IF: %w", err)
 	}
-	if _, err := Meter(ifx, c.PoolPages); err != nil {
+	ifEng, err := setcontain.EngineOf(ifx)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := Meter(ifEng, c.PoolPages); err != nil {
 		return nil, err
 	}
 	oif, err := core.Build(d, core.Options{PageSize: c.PageSize, BlockPostings: c.BlockPostings})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: build OIF: %w", err)
 	}
-	if _, err := Meter(oif, c.PoolPages); err != nil {
+	oifEng, err := setcontain.EngineOf(oif)
+	if err != nil {
 		return nil, err
 	}
-	return &Pair{Data: d, IF: ifx, OIF: oif}, nil
+	if _, err := Meter(oifEng, c.PoolPages); err != nil {
+		return nil, err
+	}
+	return &Pair{Data: d, IF: ifEng, OIF: oifEng}, nil
 }
 
 // Systems returns the pair as labelled measurement targets.
@@ -44,17 +62,21 @@ func (p *Pair) Systems() []SystemIndex {
 	}
 }
 
-// BuildUnordered constructs and meters the §5 ablation index with the
+// BuildUnordered constructs and meters the §5 ablation engine with the
 // same block size as the OIF under comparison.
-func (c Config) BuildUnordered(d *dataset.Dataset) (*ubtree.Index, error) {
+func (c Config) BuildUnordered(d *dataset.Dataset) (setcontain.Engine, error) {
 	ub, err := ubtree.Build(d, ubtree.Options{PageSize: c.PageSize, BlockPostings: c.BlockPostings})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: build unordered B-tree: %w", err)
 	}
-	if _, err := Meter(ub, c.PoolPages); err != nil {
+	eng, err := setcontain.EngineOf(ub)
+	if err != nil {
 		return nil, err
 	}
-	return ub, nil
+	if _, err := Meter(eng, c.PoolPages); err != nil {
+		return nil, err
+	}
+	return eng, nil
 }
 
 // SyntheticDefaults mirrors §5: domain 2 000, Zipf 0.8, cardinalities

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/workload"
+	"repro/setcontain"
+)
+
+// ConcurrencyPoint is the measured throughput at one worker count.
+type ConcurrencyPoint struct {
+	Workers int
+	Elapsed time.Duration
+	QPS     float64
+}
+
+// ConcurrencyResult is the parallel-throughput sweep for one engine.
+type ConcurrencyResult struct {
+	Kind    setcontain.Kind
+	Queries int
+	Points  []ConcurrencyPoint
+}
+
+// RunConcurrency measures parallel query throughput through the public
+// Store facade — the ROADMAP's heavy-traffic scenario, beyond the
+// paper's single-stream evaluation. One engine of the given kind is
+// built over the default synthetic dataset, then a mixed workload
+// (subset, equality, superset) is replayed through Store.Exec at
+// increasing goroutine counts up to maxWorkers; each goroutine borrows
+// a pooled reader, so the sweep shows how the engine's page cache
+// behaviour translates to aggregate QPS.
+func RunConcurrency(cfg Config, kind setcontain.Kind, maxWorkers int) (ConcurrencyResult, error) {
+	cfg.fill()
+	if maxWorkers <= 0 {
+		maxWorkers = 8
+	}
+	d, err := dataset.GenerateSynthetic(cfg.SyntheticDefaults())
+	if err != nil {
+		return ConcurrencyResult{}, err
+	}
+	idx, err := setcontain.New(setcontain.WrapDataset(d),
+		setcontain.WithKind(kind),
+		setcontain.WithPageSize(cfg.PageSize),
+		setcontain.WithBlockPostings(cfg.BlockPostings),
+		setcontain.WithCachePages(cfg.PoolPages),
+	)
+	if err != nil {
+		return ConcurrencyResult{}, err
+	}
+
+	gen := workload.NewGenerator(d, cfg.Seed+1000)
+	var queries []setcontain.Query
+	for _, k := range []workload.Kind{workload.Subset, workload.Equality, workload.Superset} {
+		for _, q := range gen.Queries(k, 4, cfg.QueriesPerSize) {
+			pq, err := AsQuery(q)
+			if err != nil {
+				return ConcurrencyResult{}, err
+			}
+			queries = append(queries, pq)
+		}
+	}
+	if len(queries) == 0 {
+		return ConcurrencyResult{}, fmt.Errorf("experiments: no queries at scale %g", cfg.Scale)
+	}
+	// Replay the workload enough times that per-point timing is stable.
+	const rounds = 20
+	total := len(queries) * rounds
+
+	store := setcontain.NewStore(idx, cfg.PoolPages)
+	res := ConcurrencyResult{Kind: kind, Queries: total}
+	w := cfg.Out
+	fmt.Fprintf(w, "=== Store.Exec concurrency (%s, |D|=%d, %d queries/point) ===\n",
+		kind, d.Len(), total)
+	for workers := 1; workers <= maxWorkers; workers *= 2 {
+		elapsed, err := runStoreWorkers(store, queries, rounds, workers)
+		if err != nil {
+			return ConcurrencyResult{}, err
+		}
+		pt := ConcurrencyPoint{
+			Workers: workers,
+			Elapsed: elapsed,
+			QPS:     float64(total) / elapsed.Seconds(),
+		}
+		res.Points = append(res.Points, pt)
+		fmt.Fprintf(w, "workers=%2d  elapsed=%-12s  %10.0f queries/s\n",
+			pt.Workers, pt.Elapsed.Round(time.Microsecond), pt.QPS)
+	}
+	return res, nil
+}
+
+// runStoreWorkers replays the workload rounds times, sharded across
+// workers goroutines issuing Store.Exec concurrently.
+func runStoreWorkers(store *setcontain.Store, queries []setcontain.Query, rounds, workers int) (time.Duration, error) {
+	ctx := context.Background()
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		fail error
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i := shard; i < len(queries); i += workers {
+					if _, err := store.Exec(ctx, queries[i]); err != nil {
+						mu.Lock()
+						if fail == nil {
+							fail = err
+						}
+						mu.Unlock()
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return time.Since(start), fail
+}

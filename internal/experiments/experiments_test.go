@@ -308,6 +308,9 @@ func TestSummaryShapeAtPaperScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("paper-scale shape check (~30s)")
 	}
+	if raceEnabled {
+		t.Skip("wall-clock ratios skew under the race detector")
+	}
 	var out bytes.Buffer
 	cfg := tinyConfig(&out)
 	cfg.Scale = 1.0 // summary dataset: 1M records as in the paper

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/storage"
 	"repro/internal/workload"
+	"repro/setcontain"
 )
 
 // Meter re-points an index at a fresh minimal buffer pool over its
@@ -18,18 +19,31 @@ func Meter(ix ContainmentIndex, poolPages int) (*storage.BufferPool, error) {
 	return pool, nil
 }
 
-// RunQuery dispatches one workload query against an index.
-func RunQuery(ix ContainmentIndex, q workload.Query) ([]uint32, error) {
+// AsQuery converts a generated workload query to the public first-class
+// form, ready for Query.Eval or Store.Exec.
+func AsQuery(q workload.Query) (setcontain.Query, error) {
+	var pred setcontain.Predicate
 	switch q.Kind {
 	case workload.Subset:
-		return ix.Subset(q.Items)
+		pred = setcontain.PredicateSubset
 	case workload.Equality:
-		return ix.Equality(q.Items)
+		pred = setcontain.PredicateEquality
 	case workload.Superset:
-		return ix.Superset(q.Items)
+		pred = setcontain.PredicateSuperset
 	default:
-		return nil, fmt.Errorf("experiments: unknown query kind %v", q.Kind)
+		return setcontain.Query{}, fmt.Errorf("experiments: unknown query kind %v", q.Kind)
 	}
+	return setcontain.Query{Pred: pred, Items: q.Items}, nil
+}
+
+// RunQuery dispatches one workload query against an index through the
+// public Query type — the same single-dispatch path the API exposes.
+func RunQuery(ix ContainmentIndex, q workload.Query) ([]uint32, error) {
+	pq, err := AsQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return pq.Eval(ix)
 }
 
 // runQuery is the internal alias used by the measurement loop.

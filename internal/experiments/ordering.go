@@ -94,7 +94,7 @@ func RunOrderingOn(cfg Config, d *dataset.Dataset) (Figure, error) {
 		Title:  "subset queries including a top-10 item",
 		XLabel: "|qs|",
 	}
-	ord := pair.OIF.Order()
+	ord := pair.UnwrapOIF().Order()
 	for _, size := range []int{2, 3, 4, 6} {
 		item := ord.Item(uint32(gen2Rank(size))) // a top-10 rank, varied per size
 		queries := gen.SubsetQueriesWithItem(item, size, cfg.QueriesPerSize)

@@ -457,3 +457,9 @@ func (r *Reader) Superset(qs []dataset.Item) ([]uint32, error) { return r.ix.Sup
 
 // Stats returns this reader's private access statistics.
 func (r *Reader) Stats() storage.AccessStats { return r.pool.Stats() }
+
+// ResetStats zeroes this reader's statistics.
+func (r *Reader) ResetStats() { r.pool.ResetStats() }
+
+// Pool returns the reader's private buffer pool.
+func (r *Reader) Pool() *storage.BufferPool { return r.pool }

@@ -75,13 +75,14 @@ type frame struct {
 // pages at a time (a B-tree root-to-leaf path), which must be smaller than
 // the pool. The zero value is not usable; use NewBufferPool.
 type BufferPool struct {
-	pager    Pager
-	capacity int
-	frames   map[PageID]*frame
-	lruHead  *frame
-	lruTail  *frame
-	stats    AccessStats
-	lastMiss PageID
+	pager     Pager
+	capacity  int
+	frames    map[PageID]*frame
+	lruHead   *frame
+	lruTail   *frame
+	stats     AccessStats
+	lastMiss  PageID
+	interrupt func() error
 }
 
 // DefaultPoolPages mirrors the paper's minimum Berkeley DB cache: 32 KB,
@@ -195,8 +196,22 @@ func (bp *BufferPool) evictOne() error {
 	return fmt.Errorf("storage: buffer pool of %d pages exhausted by pins", bp.capacity)
 }
 
+// SetInterrupt installs fn, consulted before every page request: a
+// non-nil return aborts the request with that error, which propagates
+// out of whatever query is driving the pool. Queries touch the pool
+// between list-block reads, so this is the cancellation point for
+// long-running scans (Store.Exec wires a context's Err here). Pass nil
+// to clear. The hook is per-pool and therefore per-reader; it must only
+// be changed while no request is in flight.
+func (bp *BufferPool) SetInterrupt(fn func() error) { bp.interrupt = fn }
+
 // fetch returns the frame for id, loading it on a miss.
 func (bp *BufferPool) fetch(id PageID) (*frame, error) {
+	if bp.interrupt != nil {
+		if err := bp.interrupt(); err != nil {
+			return nil, err
+		}
+	}
 	if f, ok := bp.frames[id]; ok {
 		bp.stats.Hits++
 		bp.touch(f)

@@ -40,7 +40,9 @@ func (k Kind) String() string {
 	}
 }
 
-// Query is one generated query.
+// Query is one generated query. The experiments package converts it to
+// the public setcontain.Query form with AsQuery (the conversion lives
+// there to keep this low-level generator free of the public package).
 type Query struct {
 	Kind  Kind
 	Items []dataset.Item // sorted ascending, distinct

@@ -1,7 +1,6 @@
 package setcontain
 
 import (
-	"errors"
 	"sort"
 )
 
@@ -131,17 +130,7 @@ func (ix *Index) JoinInto(outer *Collection, pred Predicate, fn func(outerID uin
 		if err != nil {
 			return err
 		}
-		var inner []uint32
-		switch pred {
-		case PredicateSubset:
-			inner, err = ix.Subset(set)
-		case PredicateEquality:
-			inner, err = ix.Equality(set)
-		case PredicateSuperset:
-			inner, err = ix.Superset(set)
-		default:
-			return ErrUnknownPredicate
-		}
+		inner, err := Query{Pred: pred, Items: set}.Eval(ix)
 		if err != nil {
 			return err
 		}
@@ -154,16 +143,3 @@ func (ix *Index) JoinInto(outer *Collection, pred Predicate, fn func(outerID uin
 	}
 	return nil
 }
-
-// Predicate names one of the three containment relations for JoinInto.
-type Predicate int
-
-// The containment relations.
-const (
-	PredicateSubset Predicate = iota
-	PredicateEquality
-	PredicateSuperset
-)
-
-// ErrUnknownPredicate reports an invalid Predicate value.
-var ErrUnknownPredicate = errors.New("setcontain: unknown predicate")

@@ -1,0 +1,304 @@
+package setcontain
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/invfile"
+	"repro/internal/storage"
+	"repro/internal/ubtree"
+)
+
+// Engine is the uniform backend interface every index kind implements:
+// the three containment predicates, the update path, parallel reader
+// creation, and the I/O instrumentation the paper's evaluation rests on.
+// Engines are selected through the Kind registry (Build/New) or wrapped
+// directly with EngineOf; Index and Store are thin facades over one.
+//
+// Engines that lack a capability return the sentinel errors ErrNoUpdates
+// (Insert, MergeDelta) or ErrNoSnapshots (Save) rather than omitting the
+// method, so callers can feature-test with errors.Is.
+//
+// Pool and SetPool expose the engine's buffer pool for the in-module
+// measurement layer (the pool type lives in an internal package); they
+// re-point the engine at a caller-owned cache, which is how experiments
+// meter page accesses under the paper's 32 KB budget.
+//
+// An Engine, like an Index, is not safe for concurrent use; NewReader
+// hands out isolated handles that are.
+type Engine interface {
+	// Kind identifies the engine in the registry.
+	Kind() Kind
+	// NumRecords returns the number of indexed records, pending
+	// inserts included.
+	NumRecords() int
+	// DomainSize returns the vocabulary size.
+	DomainSize() int
+
+	// Subset returns ids of records whose sets contain every item of qs.
+	Subset(qs []Item) ([]uint32, error)
+	// Equality returns ids of records whose sets equal qs.
+	Equality(qs []Item) ([]uint32, error)
+	// Superset returns ids of records whose sets are contained in qs.
+	Superset(qs []Item) ([]uint32, error)
+
+	// Insert adds a record to the in-memory delta, visible immediately.
+	Insert(set []Item) (uint32, error)
+	// MergeDelta folds pending inserts into the disk structures and
+	// re-attaches a fresh query cache (statistics reset to zero).
+	MergeDelta() error
+	// PendingInserts returns the number of unmerged inserts.
+	PendingInserts() int
+
+	// NewReader creates an isolated parallel query handle.
+	NewReader(cachePages int) (*Reader, error)
+	// Save writes a self-contained snapshot.
+	Save(w io.Writer) error
+
+	// Space reports the persistent footprint.
+	Space() SpaceInfo
+	// Stats reports I/O behaviour since the last reset.
+	Stats() CacheStats
+	// ResetStats zeroes the statistics.
+	ResetStats()
+
+	// SetPool re-points the engine at pool (metering hook).
+	SetPool(pool *storage.BufferPool) error
+	// Pool returns the active buffer pool (metering hook).
+	Pool() *storage.BufferPool
+	// Unwrap returns the backend index (*core.Index, *invfile.Index, or
+	// *ubtree.Index) for measurement code that needs kind-specific
+	// details (space breakdowns, the OIF ordering).
+	Unwrap() any
+}
+
+// SpaceInfo is an engine's persistent footprint.
+type SpaceInfo struct {
+	Pages int64 // pages allocated by the index file
+	Bytes int64 // Pages times the page size
+}
+
+// engineBuilders is the Kind registry consulted by Build.
+var engineBuilders = map[Kind]func(*dataset.Dataset, Options) (Engine, error){
+	OIF:            buildOIFEngine,
+	InvertedFile:   buildInvEngine,
+	UnorderedBTree: buildUBTEngine,
+}
+
+// Kinds lists the registered engine kinds in declaration order.
+func Kinds() []Kind { return []Kind{OIF, InvertedFile, UnorderedBTree} }
+
+// EngineOf wraps an already-built backend index (*core.Index,
+// *invfile.Index, or *ubtree.Index) in its Engine adapter. The backend's
+// current buffer pool is kept; this is the entry point for measurement
+// code that builds backends with non-default knobs.
+func EngineOf(backend any) (Engine, error) {
+	switch ix := backend.(type) {
+	case *core.Index:
+		return &oifEngine{baseEngine{b: ix, kind: OIF}}, nil
+	case *invfile.Index:
+		return &invEngine{baseEngine{b: ix, kind: InvertedFile}}, nil
+	case *ubtree.Index:
+		return &ubtEngine{baseEngine{b: ix, kind: UnorderedBTree}}, nil
+	default:
+		return nil, fmt.Errorf("setcontain: no engine adapter for %T", backend)
+	}
+}
+
+// backend is the surface the three index implementations share; the
+// per-kind adapters add what differs (updates, snapshots, readers,
+// space accounting).
+type backend interface {
+	Queryable
+	NumRecords() int
+	DomainSize() int
+	SetPool(pool *storage.BufferPool) error
+	Pool() *storage.BufferPool
+}
+
+// baseEngine implements the Engine methods every backend shares
+// identically; the kind-specific adapters embed it.
+type baseEngine struct {
+	b    backend
+	kind Kind
+}
+
+func (e *baseEngine) Kind() Kind      { return e.kind }
+func (e *baseEngine) NumRecords() int { return e.b.NumRecords() }
+func (e *baseEngine) DomainSize() int { return e.b.DomainSize() }
+func (e *baseEngine) Unwrap() any     { return e.b }
+
+func (e *baseEngine) Subset(qs []Item) ([]uint32, error)   { return e.b.Subset(qs) }
+func (e *baseEngine) Equality(qs []Item) ([]uint32, error) { return e.b.Equality(qs) }
+func (e *baseEngine) Superset(qs []Item) ([]uint32, error) { return e.b.Superset(qs) }
+
+func (e *baseEngine) Stats() CacheStats { return cacheStatsOf(e.b.Pool().Stats()) }
+func (e *baseEngine) ResetStats()       { e.b.Pool().ResetStats() }
+
+func (e *baseEngine) SetPool(pool *storage.BufferPool) error { return e.b.SetPool(pool) }
+func (e *baseEngine) Pool() *storage.BufferPool              { return e.b.Pool() }
+
+// pagedSpace is the footprint of a backend whose persistent state is
+// exactly its pager's pages.
+func (e *baseEngine) pagedSpace() SpaceInfo {
+	pool := e.b.Pool()
+	pages := pool.Pager().NumPages()
+	return SpaceInfo{Pages: pages, Bytes: pages * int64(pool.PageSize())}
+}
+
+// attachCache replaces the backend's current pool with a query cache of
+// the given page count over the same pager.
+func attachCache(b backend, pages int) error {
+	return b.SetPool(storage.NewBufferPool(b.Pool().Pager(), pages))
+}
+
+// mergeAndRepool runs a backend's delta merge and re-attaches a fresh
+// cache of the previous capacity: the merge swaps the page file, so the
+// old pool (and its statistics) cannot carry over.
+func mergeAndRepool(b backend, merge func() error) error {
+	capacity := b.Pool().Capacity()
+	if err := merge(); err != nil {
+		return err
+	}
+	return attachCache(b, capacity)
+}
+
+// wrapReader applies the default cache size and boxes a backend reader.
+func wrapReader(cachePages int, open func(int) (engineReader, error)) (*Reader, error) {
+	if cachePages <= 0 {
+		cachePages = storage.DefaultPoolPages
+	}
+	r, err := open(cachePages)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{r: r}, nil
+}
+
+func cacheStatsOf(s storage.AccessStats) CacheStats {
+	return CacheStats{
+		Hits:       s.Hits,
+		PageReads:  s.Misses,
+		Sequential: s.SeqMisses,
+		Near:       s.NearMisses,
+		Random:     s.RandMisses,
+	}
+}
+
+// --- OIF ----------------------------------------------------------------
+
+type oifEngine struct {
+	baseEngine
+}
+
+func (e *oifEngine) ix() *core.Index { return e.b.(*core.Index) }
+
+func buildOIFEngine(ds *dataset.Dataset, opts Options) (Engine, error) {
+	ix, err := core.Build(ds, core.Options{
+		PageSize:      opts.PageSize,
+		BlockPostings: opts.BlockPostings,
+		TagPrefix:     opts.TagPrefix,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return attachOIF(ix, opts)
+}
+
+func attachOIF(ix *core.Index, opts Options) (Engine, error) {
+	if err := attachCache(ix, opts.CachePages); err != nil {
+		return nil, err
+	}
+	return &oifEngine{baseEngine{b: ix, kind: OIF}}, nil
+}
+
+func (e *oifEngine) Insert(set []Item) (uint32, error) { return e.ix().Insert(set) }
+func (e *oifEngine) MergeDelta() error                 { return mergeAndRepool(e.b, e.ix().MergeDelta) }
+func (e *oifEngine) PendingInserts() int               { return e.ix().DeltaLen() }
+
+func (e *oifEngine) NewReader(cachePages int) (*Reader, error) {
+	return wrapReader(cachePages, func(pages int) (engineReader, error) {
+		return e.ix().NewReader(pages)
+	})
+}
+
+func (e *oifEngine) Save(w io.Writer) error { return e.ix().Save(w) }
+
+func (e *oifEngine) Space() SpaceInfo {
+	s := e.ix().Space()
+	return SpaceInfo{Pages: s.TreePages, Bytes: s.TreeBytes}
+}
+
+// --- Inverted file ------------------------------------------------------
+
+type invEngine struct {
+	baseEngine
+}
+
+func (e *invEngine) ix() *invfile.Index { return e.b.(*invfile.Index) }
+
+func buildInvEngine(ds *dataset.Dataset, opts Options) (Engine, error) {
+	ix, err := invfile.Build(ds, invfile.BuildOptions{PageSize: opts.PageSize})
+	if err != nil {
+		return nil, err
+	}
+	if err := attachCache(ix, opts.CachePages); err != nil {
+		return nil, err
+	}
+	return &invEngine{baseEngine{b: ix, kind: InvertedFile}}, nil
+}
+
+func (e *invEngine) Insert(set []Item) (uint32, error) { return e.ix().Insert(set) }
+func (e *invEngine) MergeDelta() error                 { return mergeAndRepool(e.b, e.ix().MergeDelta) }
+func (e *invEngine) PendingInserts() int               { return e.ix().DeltaLen() }
+
+func (e *invEngine) NewReader(cachePages int) (*Reader, error) {
+	return wrapReader(cachePages, func(pages int) (engineReader, error) {
+		return e.ix().NewReader(pages)
+	})
+}
+
+func (e *invEngine) Save(io.Writer) error { return ErrNoSnapshots }
+
+func (e *invEngine) Space() SpaceInfo {
+	pages := e.ix().ListPages()
+	return SpaceInfo{Pages: pages, Bytes: pages * int64(e.b.Pool().PageSize())}
+}
+
+// --- Unordered B-tree ---------------------------------------------------
+
+type ubtEngine struct {
+	baseEngine
+}
+
+func (e *ubtEngine) ix() *ubtree.Index { return e.b.(*ubtree.Index) }
+
+func buildUBTEngine(ds *dataset.Dataset, opts Options) (Engine, error) {
+	ix, err := ubtree.Build(ds, ubtree.Options{
+		PageSize:      opts.PageSize,
+		BlockPostings: opts.BlockPostings,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := attachCache(ix, opts.CachePages); err != nil {
+		return nil, err
+	}
+	return &ubtEngine{baseEngine{b: ix, kind: UnorderedBTree}}, nil
+}
+
+func (e *ubtEngine) Insert([]Item) (uint32, error) { return 0, ErrNoUpdates }
+func (e *ubtEngine) MergeDelta() error             { return ErrNoUpdates }
+func (e *ubtEngine) PendingInserts() int           { return 0 }
+
+func (e *ubtEngine) NewReader(cachePages int) (*Reader, error) {
+	return wrapReader(cachePages, func(pages int) (engineReader, error) {
+		return e.ix().NewReader(pages)
+	})
+}
+
+func (e *ubtEngine) Save(io.Writer) error { return ErrNoSnapshots }
+
+func (e *ubtEngine) Space() SpaceInfo { return e.pagedSpace() }

@@ -1,0 +1,111 @@
+package setcontain
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// Kind selects an engine from the registry.
+type Kind int
+
+// The registered engine kinds.
+const (
+	// OIF is the paper's Ordered Inverted File (default).
+	OIF Kind = iota
+	// InvertedFile is the classic inverted-file baseline.
+	InvertedFile
+	// UnorderedBTree indexes list blocks in a B-tree without the OIF's
+	// global ordering or metadata (the paper's ablation).
+	UnorderedBTree
+)
+
+func (k Kind) String() string {
+	switch k {
+	case OIF:
+		return "OIF"
+	case InvertedFile:
+		return "IF"
+	case UnorderedBTree:
+		return "UBT"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind resolves the conventional engine names used by the CLIs:
+// "oif", "if" (or "invfile"), and "ubt" (or "ubtree"), case-insensitively.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "oif":
+		return OIF, nil
+	case "if", "invfile", "inverted-file":
+		return InvertedFile, nil
+	case "ubt", "ubtree", "unordered-btree":
+		return UnorderedBTree, nil
+	default:
+		return 0, fmt.Errorf("setcontain: unknown index kind %q (want oif, if, or ubt)", s)
+	}
+}
+
+// Options configures Build. The zero value selects the OIF with 4 KB
+// pages, 64-posting blocks, and the paper's minimal 32 KB query cache.
+// NewOptions assembles one from functional options.
+type Options struct {
+	Kind Kind
+	// PageSize of the index file in bytes (default 4096).
+	PageSize int
+	// BlockPostings caps postings per OIF/UBT list block (default 64).
+	BlockPostings int
+	// CachePages sizes the buffer pool queries run through (default 8,
+	// the paper's 32 KB minimum). Larger caches reduce page accesses.
+	CachePages int
+	// TagPrefix truncates OIF block tags to this many leading items
+	// (0 keeps full tags). The paper's suggested key compression; shorter
+	// tags shrink the index markedly at a small cost in extra boundary
+	// block reads. Ignored by the other kinds.
+	TagPrefix int
+}
+
+// fill applies the documented defaults in place.
+func (o *Options) fill() {
+	if o.PageSize == 0 {
+		o.PageSize = storage.DefaultPageSize
+	}
+	if o.BlockPostings == 0 {
+		o.BlockPostings = core.DefaultBlockPostings
+	}
+	if o.CachePages == 0 {
+		o.CachePages = storage.DefaultPoolPages
+	}
+}
+
+// Option mutates an Options; pass them to New or NewOptions.
+type Option func(*Options)
+
+// NewOptions assembles an Options from functional options (zero-valued
+// fields keep their documented defaults).
+func NewOptions(opts ...Option) Options {
+	var o Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// WithKind selects the engine.
+func WithKind(k Kind) Option { return func(o *Options) { o.Kind = k } }
+
+// WithPageSize sets the index file's page size in bytes.
+func WithPageSize(n int) Option { return func(o *Options) { o.PageSize = n } }
+
+// WithBlockPostings caps postings per OIF/UBT list block.
+func WithBlockPostings(n int) Option { return func(o *Options) { o.BlockPostings = n } }
+
+// WithCachePages sizes the query cache in pages.
+func WithCachePages(n int) Option { return func(o *Options) { o.CachePages = n } }
+
+// WithTagPrefix truncates OIF block tags to n leading items.
+func WithTagPrefix(n int) Option { return func(o *Options) { o.TagPrefix = n } }

@@ -1,0 +1,155 @@
+package setcontain
+
+import (
+	"errors"
+	"fmt"
+	"iter"
+	"strings"
+)
+
+// Predicate names one of the three containment relations.
+type Predicate int
+
+// The containment relations.
+const (
+	// PredicateSubset matches records whose sets contain every query
+	// item (the query is a subset of the record).
+	PredicateSubset Predicate = iota
+	// PredicateEquality matches records whose sets equal the query.
+	PredicateEquality
+	// PredicateSuperset matches records contained in the query (the
+	// query is a superset of the record).
+	PredicateSuperset
+)
+
+// ErrUnknownPredicate reports an invalid Predicate value.
+var ErrUnknownPredicate = errors.New("setcontain: unknown predicate")
+
+// String returns the predicate's conventional lowercase name, as the
+// CLIs spell it: "subset", "equality", or "superset".
+func (p Predicate) String() string {
+	switch p {
+	case PredicateSubset:
+		return "subset"
+	case PredicateEquality:
+		return "equality"
+	case PredicateSuperset:
+		return "superset"
+	default:
+		return fmt.Sprintf("Predicate(%d)", int(p))
+	}
+}
+
+// ParsePredicate resolves the names produced by Predicate.String,
+// case-insensitively.
+func ParsePredicate(s string) (Predicate, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "subset":
+		return PredicateSubset, nil
+	case "equality":
+		return PredicateEquality, nil
+	case "superset":
+		return PredicateSuperset, nil
+	default:
+		return 0, fmt.Errorf("setcontain: unknown predicate %q (want subset, equality, or superset)", s)
+	}
+}
+
+// Query is a first-class containment query: a predicate plus its items.
+// It evaluates against any Queryable and is the unit Store executes.
+type Query struct {
+	Pred  Predicate
+	Items []Item
+}
+
+// SubsetQuery returns a Query matching records that contain every item.
+func SubsetQuery(items []Item) Query { return Query{Pred: PredicateSubset, Items: items} }
+
+// EqualityQuery returns a Query matching records equal to items.
+func EqualityQuery(items []Item) Query { return Query{Pred: PredicateEquality, Items: items} }
+
+// SupersetQuery returns a Query matching records contained in items.
+func SupersetQuery(items []Item) Query { return Query{Pred: PredicateSuperset, Items: items} }
+
+// String renders the query log-friendly, e.g. "subset{3 17 29}".
+func (q Query) String() string {
+	var b strings.Builder
+	b.WriteString(q.Pred.String())
+	b.WriteByte('{')
+	for i, it := range q.Items {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", it)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Queryable is anything that answers the three containment predicates:
+// an Index, a Reader, or an Engine.
+type Queryable interface {
+	Subset(qs []Item) ([]uint32, error)
+	Equality(qs []Item) ([]uint32, error)
+	Superset(qs []Item) ([]uint32, error)
+}
+
+// Eval answers the query against t. This is the single dispatch point
+// from predicates to engine methods.
+func (q Query) Eval(t Queryable) ([]uint32, error) {
+	switch q.Pred {
+	case PredicateSubset:
+		return t.Subset(q.Items)
+	case PredicateEquality:
+		return t.Equality(q.Items)
+	case PredicateSuperset:
+		return t.Superset(q.Items)
+	default:
+		return nil, ErrUnknownPredicate
+	}
+}
+
+// EvalSeq answers the query as a lazy sequence; see Index.SubsetSeq for
+// the streaming contract.
+func (q Query) EvalSeq(t Queryable) (iter.Seq[uint32], error) {
+	return seqOf(q.Eval(t))
+}
+
+// seqOf adapts a slice answer (and its error) to the iterator form.
+func seqOf(ids []uint32, err error) (iter.Seq[uint32], error) {
+	if err != nil {
+		return nil, err
+	}
+	return func(yield func(uint32) bool) {
+		for _, id := range ids {
+			if !yield(id) {
+				return
+			}
+		}
+	}, nil
+}
+
+// SubsetSeq returns the Subset answer as an iter.Seq, for callers that
+// stream large answer sets instead of holding the whole id slice:
+//
+//	seq, err := idx.SubsetSeq(qs)
+//	for id := range seq { ... }
+//
+// Iteration may be abandoned early at no cost. The current engines
+// compute the full answer before the sequence yields (their final
+// sort/remap steps need it); the iterator surface frees callers from
+// that detail and is the contract future incremental engines stream
+// through. The slice forms remain as the materializing convenience.
+func (ix *Index) SubsetSeq(qs []Item) (iter.Seq[uint32], error) {
+	return seqOf(ix.eng.Subset(qs))
+}
+
+// EqualitySeq streams the Equality answer; see SubsetSeq.
+func (ix *Index) EqualitySeq(qs []Item) (iter.Seq[uint32], error) {
+	return seqOf(ix.eng.Equality(qs))
+}
+
+// SupersetSeq streams the Superset answer; see SubsetSeq.
+func (ix *Index) SupersetSeq(qs []Item) (iter.Seq[uint32], error) {
+	return seqOf(ix.eng.Superset(qs))
+}

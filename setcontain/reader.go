@@ -1,0 +1,66 @@
+package setcontain
+
+import (
+	"iter"
+
+	"repro/internal/storage"
+)
+
+// engineReader is the uniform surface of the backends' isolated query
+// handles (core.Reader, invfile.Reader, ubtree.Reader).
+type engineReader interface {
+	Subset(qs []Item) ([]uint32, error)
+	Equality(qs []Item) ([]uint32, error)
+	Superset(qs []Item) ([]uint32, error)
+	Stats() storage.AccessStats
+	ResetStats()
+	Pool() *storage.BufferPool
+}
+
+// Reader is an isolated, concurrency-safe-by-design query handle created
+// by Index.NewReader (or Engine.NewReader): it shares the parent's
+// immutable pages but owns its cache, so one reader per goroutine
+// queries in parallel. Readers see the inserts that existed when they
+// were created and never the later ones. Store manages a pool of
+// readers automatically.
+type Reader struct {
+	r engineReader
+}
+
+// Subset answers like Index.Subset.
+func (r *Reader) Subset(qs []Item) ([]uint32, error) { return r.r.Subset(qs) }
+
+// Equality answers like Index.Equality.
+func (r *Reader) Equality(qs []Item) ([]uint32, error) { return r.r.Equality(qs) }
+
+// Superset answers like Index.Superset.
+func (r *Reader) Superset(qs []Item) ([]uint32, error) { return r.r.Superset(qs) }
+
+// Eval answers a first-class Query.
+func (r *Reader) Eval(q Query) ([]uint32, error) { return q.Eval(r) }
+
+// SubsetSeq streams the Subset answer; see Index.SubsetSeq.
+func (r *Reader) SubsetSeq(qs []Item) (iter.Seq[uint32], error) {
+	return seqOf(r.r.Subset(qs))
+}
+
+// EqualitySeq streams the Equality answer; see Index.EqualitySeq.
+func (r *Reader) EqualitySeq(qs []Item) (iter.Seq[uint32], error) {
+	return seqOf(r.r.Equality(qs))
+}
+
+// SupersetSeq streams the Superset answer; see Index.SupersetSeq.
+func (r *Reader) SupersetSeq(qs []Item) (iter.Seq[uint32], error) {
+	return seqOf(r.r.Superset(qs))
+}
+
+// CacheStats returns this reader's private access statistics.
+func (r *Reader) CacheStats() CacheStats { return cacheStatsOf(r.r.Stats()) }
+
+// ResetCacheStats zeroes this reader's statistics.
+func (r *Reader) ResetCacheStats() { r.r.ResetStats() }
+
+// setInterrupt installs fn as the reader's cancellation check, consulted
+// by its buffer pool between list-block reads. Store.Exec wires a
+// context's Err here for the duration of a query.
+func (r *Reader) setInterrupt(fn func() error) { r.r.Pool().SetInterrupt(fn) }

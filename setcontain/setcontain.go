@@ -9,19 +9,40 @@
 //
 //	c := setcontain.NewCollection(1000)
 //	c.Add([]setcontain.Item{3, 17, 29})
-//	idx, err := setcontain.Build(c, setcontain.Options{})
+//	idx, err := setcontain.New(c, setcontain.WithKind(setcontain.OIF))
 //	ids, err := idx.Subset([]setcontain.Item{3, 29}) // records ⊇ {3,29}
 //
-// Three index kinds are available: OIF (the paper's contribution, default),
-// InvertedFile (the classic baseline), and UnorderedBTree (the paper's
-// ablation). All three answer the same queries with identical results;
-// they differ in I/O behaviour, which CacheStats exposes.
+// # Engines
 //
-// Concurrency: an Index is not safe for concurrent use — queries share a
-// buffer pool whose cache state they mutate, mirroring the paper's
-// single-stream evaluation. For parallel queries create one Reader per
-// goroutine with NewReader: readers share the immutable index pages but
-// own their caches.
+// Every index kind is an Engine: a pluggable backend implementing the
+// uniform query/update interface. Three engines are registered: OIF (the
+// paper's contribution, default), InvertedFile (the classic baseline),
+// and UnorderedBTree (the paper's ablation). All answer the same queries
+// with identical results; they differ in I/O behaviour, which CacheStats
+// exposes. Kind and Options form the registry that selects an engine;
+// Index is a thin convenience wrapper around one.
+//
+// # Queries
+//
+// A Query pairs a Predicate with its items and evaluates against any
+// Queryable (an Index, a Reader, or an Engine):
+//
+//	q := setcontain.Query{Pred: setcontain.PredicateSubset, Items: items}
+//	ids, err := q.Eval(idx)
+//
+// The …Seq variants (SubsetSeq, EvalSeq, …) return the answer as a lazy
+// iter.Seq[uint32] for callers that stream rather than materialize.
+//
+// # Concurrency
+//
+// An Index is not safe for concurrent use — queries share a buffer pool
+// whose cache state they mutate, mirroring the paper's single-stream
+// evaluation. For parallel traffic either create one Reader per goroutine
+// with NewReader, or use a Store: a concurrency-safe facade that pools
+// readers internally and honours context cancellation:
+//
+//	st := setcontain.NewStore(idx, 0)
+//	ids, err := st.Exec(ctx, q)
 package setcontain
 
 import (
@@ -31,9 +52,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/invfile"
-	"repro/internal/storage"
-	"repro/internal/ubtree"
 )
 
 // Item is a vocabulary element: a dense uint32 in [0, DomainSize).
@@ -49,6 +67,11 @@ type Collection struct {
 func NewCollection(domainSize int) *Collection {
 	return &Collection{ds: dataset.New(domainSize)}
 }
+
+// WrapDataset adapts a low-level dataset into a Collection. It is the
+// bridge used by the in-module measurement layer (internal/experiments);
+// external callers build collections with NewCollection or the readers.
+func WrapDataset(ds *dataset.Dataset) *Collection { return &Collection{ds: ds} }
 
 // Add appends a record (copied, sorted, deduplicated) and returns its id.
 // Empty sets are allowed.
@@ -106,221 +129,97 @@ func ReadMSWebCollection(r io.Reader, replicas int) (*Collection, error) {
 	return &Collection{ds: ds}, nil
 }
 
-// Kind selects an index implementation.
-type Kind int
-
-// The available index kinds.
-const (
-	// OIF is the paper's Ordered Inverted File (default).
-	OIF Kind = iota
-	// InvertedFile is the classic inverted-file baseline.
-	InvertedFile
-	// UnorderedBTree indexes list blocks in a B-tree without the OIF's
-	// global ordering or metadata (the paper's ablation).
-	UnorderedBTree
-)
-
-func (k Kind) String() string {
-	switch k {
-	case OIF:
-		return "OIF"
-	case InvertedFile:
-		return "IF"
-	case UnorderedBTree:
-		return "UBT"
-	default:
-		return fmt.Sprintf("Kind(%d)", int(k))
-	}
-}
-
-// Options configures Build. The zero value selects the OIF with 4 KB
-// pages, 64-posting blocks, and the paper's minimal 32 KB query cache.
-type Options struct {
-	Kind Kind
-	// PageSize of the index file in bytes (default 4096).
-	PageSize int
-	// BlockPostings caps postings per OIF/UBT list block (default 64).
-	BlockPostings int
-	// CachePages sizes the buffer pool queries run through (default 8,
-	// the paper's 32 KB minimum). Larger caches reduce page accesses.
-	CachePages int
-	// TagPrefix truncates OIF block tags to this many leading items
-	// (0 keeps full tags). The paper's suggested key compression; shorter
-	// tags shrink the index markedly at a small cost in extra boundary
-	// block reads. Ignored by the other kinds.
-	TagPrefix int
-}
-
-// Index answers the three containment predicates. Results are ascending
-// record ids, identical across kinds.
+// Index answers the three containment predicates through whichever
+// Engine it wraps. Results are ascending record ids, identical across
+// engines. An Index adds nothing over its Engine except a concrete type
+// for call sites; IndexOver wraps an existing engine.
 type Index struct {
-	kind Kind
-	oif  *core.Index
-	ifx  *invfile.Index
-	ubt  *ubtree.Index
-	pool *storage.BufferPool
+	eng Engine
 }
 
-// Build indexes the collection. The collection may keep growing
-// afterwards, but new records are invisible to the index; use Insert on
-// updatable kinds instead.
+// Build indexes the collection with the engine selected by opts.Kind.
+// The collection may keep growing afterwards, but new records are
+// invisible to the index; use Insert on updatable engines instead.
 func Build(c *Collection, opts Options) (*Index, error) {
 	if c == nil || c.ds == nil {
 		return nil, errors.New("setcontain: nil collection")
 	}
-	if opts.PageSize == 0 {
-		opts.PageSize = storage.DefaultPageSize
-	}
-	if opts.BlockPostings == 0 {
-		opts.BlockPostings = core.DefaultBlockPostings
-	}
-	if opts.CachePages == 0 {
-		opts.CachePages = storage.DefaultPoolPages
-	}
-	ix := &Index{kind: opts.Kind}
-	var err error
-	switch opts.Kind {
-	case OIF:
-		ix.oif, err = core.Build(c.ds, core.Options{
-			PageSize:      opts.PageSize,
-			BlockPostings: opts.BlockPostings,
-			TagPrefix:     opts.TagPrefix,
-		})
-		if err != nil {
-			return nil, err
-		}
-		ix.pool = storage.NewBufferPool(ix.oif.Pool().Pager(), opts.CachePages)
-		err = ix.oif.SetPool(ix.pool)
-	case InvertedFile:
-		ix.ifx, err = invfile.Build(c.ds, invfile.BuildOptions{PageSize: opts.PageSize})
-		if err != nil {
-			return nil, err
-		}
-		ix.pool = storage.NewBufferPool(ix.ifx.Pool().Pager(), opts.CachePages)
-		err = ix.ifx.SetPool(ix.pool)
-	case UnorderedBTree:
-		ix.ubt, err = ubtree.Build(c.ds, ubtree.Options{
-			PageSize:      opts.PageSize,
-			BlockPostings: opts.BlockPostings,
-		})
-		if err != nil {
-			return nil, err
-		}
-		ix.pool = storage.NewBufferPool(ix.ubt.Pool().Pager(), opts.CachePages)
-		err = ix.ubt.SetPool(ix.pool)
-	default:
+	opts.fill()
+	build, ok := engineBuilders[opts.Kind]
+	if !ok {
 		return nil, fmt.Errorf("setcontain: unknown index kind %v", opts.Kind)
 	}
+	eng, err := build(c.ds, opts)
 	if err != nil {
 		return nil, err
 	}
-	return ix, nil
+	return &Index{eng: eng}, nil
 }
+
+// New indexes the collection, configured by functional options:
+//
+//	idx, err := setcontain.New(c, setcontain.WithKind(setcontain.OIF),
+//		setcontain.WithCachePages(64))
+func New(c *Collection, opts ...Option) (*Index, error) {
+	return Build(c, NewOptions(opts...))
+}
+
+// IndexOver wraps an existing engine. The engine is used as-is; callers
+// that built it with EngineOf keep full ownership of its pools.
+func IndexOver(e Engine) *Index { return &Index{eng: e} }
+
+// Engine returns the backing engine.
+func (ix *Index) Engine() Engine { return ix.eng }
 
 // Kind returns the index implementation in use.
-func (ix *Index) Kind() Kind { return ix.kind }
+func (ix *Index) Kind() Kind { return ix.eng.Kind() }
+
+// NumRecords returns the number of indexed records, pending inserts
+// included.
+func (ix *Index) NumRecords() int { return ix.eng.NumRecords() }
 
 // Subset returns ids of records whose sets contain every item of qs.
-func (ix *Index) Subset(qs []Item) ([]uint32, error) {
-	switch ix.kind {
-	case OIF:
-		return ix.oif.Subset(qs)
-	case InvertedFile:
-		return ix.ifx.Subset(qs)
-	default:
-		return ix.ubt.Subset(qs)
-	}
-}
+func (ix *Index) Subset(qs []Item) ([]uint32, error) { return ix.eng.Subset(qs) }
 
 // Equality returns ids of records whose sets equal qs.
-func (ix *Index) Equality(qs []Item) ([]uint32, error) {
-	switch ix.kind {
-	case OIF:
-		return ix.oif.Equality(qs)
-	case InvertedFile:
-		return ix.ifx.Equality(qs)
-	default:
-		return ix.ubt.Equality(qs)
-	}
-}
+func (ix *Index) Equality(qs []Item) ([]uint32, error) { return ix.eng.Equality(qs) }
 
 // Superset returns ids of records whose sets are contained in qs.
-func (ix *Index) Superset(qs []Item) ([]uint32, error) {
-	switch ix.kind {
-	case OIF:
-		return ix.oif.Superset(qs)
-	case InvertedFile:
-		return ix.ifx.Superset(qs)
-	default:
-		return ix.ubt.Superset(qs)
-	}
-}
+func (ix *Index) Superset(qs []Item) ([]uint32, error) { return ix.eng.Superset(qs) }
 
-// ErrNoUpdates reports an index kind without update support.
-var ErrNoUpdates = errors.New("setcontain: index kind does not support updates")
+// Eval answers a first-class Query.
+func (ix *Index) Eval(q Query) ([]uint32, error) { return q.Eval(ix.eng) }
 
-// Insert adds a record to the index's in-memory delta (visible to queries
-// immediately) and returns its id. Supported by OIF and InvertedFile;
-// call MergeDelta to fold the delta into the disk structures.
-func (ix *Index) Insert(set []Item) (uint32, error) {
-	switch ix.kind {
-	case OIF:
-		return ix.oif.Insert(set)
-	case InvertedFile:
-		return ix.ifx.Insert(set)
-	default:
-		return 0, ErrNoUpdates
-	}
-}
+// ErrNoUpdates reports an engine without update support.
+var ErrNoUpdates = errors.New("setcontain: engine does not support updates")
+
+// Insert adds a record to the engine's in-memory delta (visible to
+// queries immediately) and returns its id. Supported by OIF and
+// InvertedFile; call MergeDelta to fold the delta into the disk
+// structures.
+func (ix *Index) Insert(set []Item) (uint32, error) { return ix.eng.Insert(set) }
 
 // MergeDelta folds pending inserts into the disk structures: a cheap list
-// append for InvertedFile, a full re-sort and rebuild for OIF (§4.4 of the
-// paper). After an OIF merge the query cache is re-attached automatically.
-func (ix *Index) MergeDelta() error {
-	switch ix.kind {
-	case OIF:
-		if err := ix.oif.MergeDelta(); err != nil {
-			return err
-		}
-		// The rebuild replaced the pager; re-attach a measurement cache
-		// of the same capacity.
-		ix.pool = storage.NewBufferPool(ix.oif.Pool().Pager(), ix.pool.Capacity())
-		return ix.oif.SetPool(ix.pool)
-	case InvertedFile:
-		if err := ix.ifx.MergeDelta(); err != nil {
-			return err
-		}
-		ix.pool = storage.NewBufferPool(ix.ifx.Pool().Pager(), ix.pool.Capacity())
-		return ix.ifx.SetPool(ix.pool)
-	default:
-		return ErrNoUpdates
-	}
-}
+// append for InvertedFile, a full re-sort and rebuild for OIF (§4.4 of
+// the paper).
+//
+// Merging swaps the engine's page file, so a fresh query cache of the
+// same capacity is attached afterwards: CacheStats silently resets to
+// zero, and its contents start cold. Snapshot CacheStats before merging
+// if the pre-merge I/O counts matter, and create new Readers (or call
+// Store.Refresh) so parallel handles see the merged records.
+func (ix *Index) MergeDelta() error { return ix.eng.MergeDelta() }
 
 // PendingInserts returns the number of unmerged inserts.
-func (ix *Index) PendingInserts() int {
-	switch ix.kind {
-	case OIF:
-		return ix.oif.DeltaLen()
-	case InvertedFile:
-		return ix.ifx.DeltaLen()
-	default:
-		return 0
-	}
-}
+func (ix *Index) PendingInserts() int { return ix.eng.PendingInserts() }
 
-// ErrNoSnapshots reports a kind without snapshot support.
-var ErrNoSnapshots = errors.New("setcontain: only the OIF kind supports snapshots")
+// ErrNoSnapshots reports an engine without snapshot support.
+var ErrNoSnapshots = errors.New("setcontain: only the OIF engine supports snapshots")
 
 // Save writes a self-contained snapshot of an OIF index (pages, ordering,
-// metadata, pending inserts) guarded by a CRC trailer. Baseline kinds
+// metadata, pending inserts) guarded by a CRC trailer. Baseline engines
 // rebuild quickly from their collections and do not support snapshots.
-func (ix *Index) Save(w io.Writer) error {
-	if ix.kind != OIF {
-		return ErrNoSnapshots
-	}
-	return ix.oif.Save(w)
-}
+func (ix *Index) Save(w io.Writer) error { return ix.eng.Save(w) }
 
 // LoadIndex reconstructs an OIF index from a snapshot produced by Save.
 // Only opts.CachePages is consulted (0 selects the default 32 KB cache).
@@ -329,18 +228,18 @@ func LoadIndex(r io.Reader, opts Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	if opts.CachePages == 0 {
-		opts.CachePages = storage.DefaultPoolPages
-	}
-	ix := &Index{kind: OIF, oif: oif}
-	ix.pool = storage.NewBufferPool(oif.Pool().Pager(), opts.CachePages)
-	if err := oif.SetPool(ix.pool); err != nil {
+	opts.Kind = OIF
+	opts.fill()
+	eng, err := attachOIF(oif, opts)
+	if err != nil {
 		return nil, err
 	}
-	return ix, nil
+	return &Index{eng: eng}, nil
 }
 
 // CacheStats reports the index's I/O behaviour since the last reset.
+// Note that MergeDelta swaps the engine's page file and re-attaches a
+// fresh cache, which zeroes these counters — see Index.MergeDelta.
 type CacheStats struct {
 	Hits       int64 // page requests served from cache
 	PageReads  int64 // pages fetched from storage ("disk page accesses")
@@ -350,85 +249,16 @@ type CacheStats struct {
 }
 
 // CacheStats returns accumulated statistics.
-func (ix *Index) CacheStats() CacheStats {
-	s := ix.pool.Stats()
-	return CacheStats{
-		Hits:       s.Hits,
-		PageReads:  s.Misses,
-		Sequential: s.SeqMisses,
-		Near:       s.NearMisses,
-		Random:     s.RandMisses,
-	}
-}
+func (ix *Index) CacheStats() CacheStats { return ix.eng.Stats() }
 
 // ResetCacheStats zeroes the statistics (the cache contents remain).
-func (ix *Index) ResetCacheStats() { ix.pool.ResetStats() }
-
-// Reader is an isolated, concurrency-safe-by-design query handle created
-// by Index.NewReader: it shares the parent's immutable pages but owns its
-// cache, so one reader per goroutine queries in parallel. Readers see the
-// inserts that existed when they were created and never the later ones.
-type Reader struct {
-	kind Kind
-	oif  *core.Reader
-	ifx  *invfile.Reader
-	ubt  *ubtree.Reader
-}
+func (ix *Index) ResetCacheStats() { ix.eng.ResetStats() }
 
 // NewReader creates a parallel query handle with its own cache of
-// cachePages pages (0 selects the default 32 KB).
+// cachePages pages (0 selects the default 32 KB). The reader shares the
+// index's immutable pages but owns its cache, so one reader per
+// goroutine queries in parallel; readers see the inserts that existed
+// when they were created and never the later ones.
 func (ix *Index) NewReader(cachePages int) (*Reader, error) {
-	if cachePages <= 0 {
-		cachePages = storage.DefaultPoolPages
-	}
-	r := &Reader{kind: ix.kind}
-	var err error
-	switch ix.kind {
-	case OIF:
-		r.oif, err = ix.oif.NewReader(cachePages)
-	case InvertedFile:
-		r.ifx, err = ix.ifx.NewReader(cachePages)
-	default:
-		r.ubt, err = ix.ubt.NewReader(cachePages)
-	}
-	if err != nil {
-		return nil, err
-	}
-	return r, nil
-}
-
-// Subset answers like Index.Subset.
-func (r *Reader) Subset(qs []Item) ([]uint32, error) {
-	switch r.kind {
-	case OIF:
-		return r.oif.Subset(qs)
-	case InvertedFile:
-		return r.ifx.Subset(qs)
-	default:
-		return r.ubt.Subset(qs)
-	}
-}
-
-// Equality answers like Index.Equality.
-func (r *Reader) Equality(qs []Item) ([]uint32, error) {
-	switch r.kind {
-	case OIF:
-		return r.oif.Equality(qs)
-	case InvertedFile:
-		return r.ifx.Equality(qs)
-	default:
-		return r.ubt.Equality(qs)
-	}
-}
-
-// Superset answers like Index.Superset.
-func (r *Reader) Superset(qs []Item) ([]uint32, error) {
-	switch r.kind {
-	case OIF:
-		return r.oif.Superset(qs)
-	case InvertedFile:
-		return r.ifx.Superset(qs)
-	default:
-		return r.ubt.Superset(qs)
-	}
+	return ix.eng.NewReader(cachePages)
 }

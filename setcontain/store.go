@@ -1,0 +1,167 @@
+package setcontain
+
+import (
+	"context"
+	"iter"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Store is a concurrency-safe query facade over an Index. It owns a
+// sync.Pool of per-goroutine Readers, so any number of goroutines can
+// Exec queries in parallel without managing readers themselves; each
+// call borrows an isolated reader (cache and statistics included) and
+// returns it when done.
+//
+// Exec and ExecBatch honour context cancellation: the borrowed reader's
+// buffer pool checks ctx.Err between list-block reads, so even a query
+// scanning a long inverted list stops promptly, returning ctx.Err().
+//
+// A Store serves the snapshot its readers were created from. After
+// Insert or MergeDelta on the underlying Index, call Refresh to retire
+// pooled readers so subsequent queries see the new records; do not
+// update the Index concurrently with Store calls.
+type Store struct {
+	ix         *Index
+	cachePages int
+	gen        atomic.Uint64
+	readers    sync.Pool // of *storeReader
+}
+
+// storeReader tags a pooled reader with the store generation it was
+// created under, so Refresh can retire stale snapshots lazily.
+type storeReader struct {
+	r   *Reader
+	gen uint64
+}
+
+// NewStore returns a store over ix whose pooled readers each carry a
+// private cache of cachePages pages (0 selects the default 32 KB).
+func NewStore(ix *Index, cachePages int) *Store {
+	return &Store{ix: ix, cachePages: cachePages}
+}
+
+// Refresh retires the pooled readers: queries issued after Refresh run
+// on readers created from the index's current state. Call it after
+// Insert or MergeDelta on the underlying Index.
+func (s *Store) Refresh() { s.gen.Add(1) }
+
+// acquire returns a reader of the current generation, creating one when
+// the pool is empty or holds only stale snapshots.
+func (s *Store) acquire() (*storeReader, error) {
+	gen := s.gen.Load()
+	for {
+		e, _ := s.readers.Get().(*storeReader)
+		if e == nil {
+			break // pool empty: create fresh
+		}
+		if e.gen == gen {
+			return e, nil
+		}
+		// Stale snapshot: drop it and keep looking.
+	}
+	r, err := s.ix.NewReader(s.cachePages)
+	if err != nil {
+		return nil, err
+	}
+	return &storeReader{r: r, gen: gen}, nil
+}
+
+func (s *Store) release(e *storeReader) {
+	e.r.setInterrupt(nil)
+	if e.gen == s.gen.Load() {
+		s.readers.Put(e)
+	}
+}
+
+// Exec answers q on a pooled reader. It is safe for any number of
+// concurrent callers. Cancellation of ctx is checked before the query
+// and between list-block reads during it; the returned error is then
+// ctx.Err() (context.Canceled or context.DeadlineExceeded).
+func (s *Store) Exec(ctx context.Context, q Query) ([]uint32, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e, err := s.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer s.release(e)
+	if ctx.Done() != nil {
+		e.r.setInterrupt(ctx.Err)
+	}
+	return q.Eval(e.r)
+}
+
+// ExecSeq answers q as a lazy sequence; the query itself runs eagerly
+// under ctx like Exec, iteration is then cancellation-free.
+func (s *Store) ExecSeq(ctx context.Context, q Query) (iter.Seq[uint32], error) {
+	return seqOf(s.Exec(ctx, q))
+}
+
+// ExecBatch answers the queries concurrently across pooled readers
+// (bounded by GOMAXPROCS) and returns the answers in query order. The
+// first error cancels the remaining queries and is returned; results
+// are nil in that case. A cancelled ctx aborts the whole batch with
+// ctx.Err().
+func (s *Store) ExecBatch(ctx context.Context, qs []Query) ([][]uint32, error) {
+	if len(qs) == 0 {
+		return nil, ctx.Err()
+	}
+	out := make([][]uint32, len(qs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	if workers <= 1 {
+		for i, q := range qs {
+			ids, err := s.Exec(ctx, q)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = ids
+		}
+		return out, nil
+	}
+
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		errOnce  sync.Once
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(qs) || bctx.Err() != nil {
+					return
+				}
+				ids, err := s.Exec(bctx, qs[i])
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = err
+						cancel()
+					})
+					return
+				}
+				out[i] = ids
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		// Report the caller's cancellation as such, not as the internal
+		// batch cancel it triggered in sibling workers.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, firstErr
+	}
+	return out, nil
+}

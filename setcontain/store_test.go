@@ -1,0 +1,249 @@
+package setcontain
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// storeWorkload draws a deterministic mixed workload over the sample
+// collection's domain.
+func storeWorkload(n int, seed int64) []Query {
+	rng := rand.New(rand.NewSource(seed))
+	preds := []Predicate{PredicateSubset, PredicateEquality, PredicateSuperset}
+	qs := make([]Query, n)
+	for i := range qs {
+		k := 1 + rng.Intn(5)
+		items := make([]Item, k)
+		for j := range items {
+			items[j] = Item(rng.Intn(40))
+		}
+		qs[i] = Query{Pred: preds[rng.Intn(len(preds))], Items: items}
+	}
+	return qs
+}
+
+// TestStoreExecParallel runs concurrent Store.Exec across goroutines for
+// every engine kind and asserts each answer matches the sequential one.
+// Run under -race this also proves the pooled readers are isolated.
+func TestStoreExecParallel(t *testing.T) {
+	c := sampleCollection(t)
+	queries := storeWorkload(60, 81)
+	for kind, ix := range buildAll(t, c) {
+		t.Run(kind.String(), func(t *testing.T) {
+			want := make([][]uint32, len(queries))
+			for i, q := range queries {
+				ids, err := ix.Eval(q)
+				if err != nil {
+					t.Fatalf("sequential %s: %v", q, err)
+				}
+				want[i] = ids
+			}
+
+			store := NewStore(ix, 4)
+			ctx := context.Background()
+			const goroutines = 8
+			var wg sync.WaitGroup
+			errs := make(chan error, goroutines)
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					// Each goroutine walks the whole workload from its own
+					// offset, so every query runs on several readers.
+					for n := 0; n < len(queries); n++ {
+						i := (g*7 + n) % len(queries)
+						got, err := store.Exec(ctx, queries[i])
+						if err != nil {
+							errs <- fmt.Errorf("parallel %s: %v", queries[i], err)
+							return
+						}
+						if !reflect.DeepEqual(got, want[i]) && !(len(got) == 0 && len(want[i]) == 0) {
+							errs <- fmt.Errorf("parallel %s: got %v want %v", queries[i], got, want[i])
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestStoreExecBatch checks batch answers arrive in order and match the
+// sequential evaluation, for every engine kind.
+func TestStoreExecBatch(t *testing.T) {
+	c := sampleCollection(t)
+	queries := storeWorkload(40, 82)
+	for kind, ix := range buildAll(t, c) {
+		t.Run(kind.String(), func(t *testing.T) {
+			store := NewStore(ix, 4)
+			got, err := store.ExecBatch(context.Background(), queries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(queries) {
+				t.Fatalf("got %d answers for %d queries", len(got), len(queries))
+			}
+			for i, q := range queries {
+				want, err := ix.Eval(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got[i], want) && !(len(got[i]) == 0 && len(want) == 0) {
+					t.Errorf("%s: got %v want %v", q, got[i], want)
+				}
+			}
+		})
+	}
+}
+
+// TestStoreExecCancelled checks an already-cancelled context aborts both
+// Exec and ExecBatch with context.Canceled.
+func TestStoreExecCancelled(t *testing.T) {
+	c := sampleCollection(t)
+	ix, err := New(c, WithPageSize(512), WithBlockPostings(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore(ix, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := store.Exec(ctx, SubsetQuery([]Item{1})); !errors.Is(err, context.Canceled) {
+		t.Errorf("Exec on cancelled ctx: got %v, want context.Canceled", err)
+	}
+	if _, err := store.ExecBatch(ctx, storeWorkload(10, 83)); !errors.Is(err, context.Canceled) {
+		t.Errorf("ExecBatch on cancelled ctx: got %v, want context.Canceled", err)
+	}
+}
+
+// TestCancellationBetweenBlockReads proves a query in flight stops at
+// the next list-block read once its cancellation hook fires: the
+// reader's buffer pool consults the hook on every page request, so a
+// cancellation after N pages surfaces as the query's error.
+func TestCancellationBetweenBlockReads(t *testing.T) {
+	c := sampleCollection(t)
+	for kind, ix := range buildAll(t, c) {
+		t.Run(kind.String(), func(t *testing.T) {
+			r, err := ix.NewReader(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pages := 0
+			r.setInterrupt(func() error {
+				pages++
+				if pages > 2 {
+					return context.Canceled
+				}
+				return nil
+			})
+			// A wide superset query reads one list per query item, so
+			// every engine crosses many list blocks.
+			wide := make([]Item, 20)
+			for i := range wide {
+				wide[i] = Item(i)
+			}
+			_, err = r.Superset(wide)
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("mid-query cancel: got %v, want context.Canceled", err)
+			}
+			// Clearing the hook makes the reader usable again.
+			r.setInterrupt(nil)
+			if _, err := r.Superset(wide); err != nil {
+				t.Errorf("after clearing interrupt: %v", err)
+			}
+		})
+	}
+}
+
+// TestStoreCancelMidFlight cancels while parallel Exec calls stream
+// answers: every call must either succeed or fail with context.Canceled,
+// and calls issued after the cancel must fail.
+func TestStoreCancelMidFlight(t *testing.T) {
+	c := sampleCollection(t)
+	ix, err := New(c, WithPageSize(512), WithBlockPostings(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore(ix, 4)
+	queries := storeWorkload(200, 84)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(queries); i += 4 {
+				if i == 40 {
+					cancel()
+				}
+				if _, err := store.Exec(ctx, queries[i]); err != nil && !errors.Is(err, context.Canceled) {
+					errs <- fmt.Errorf("query %d: %v", i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if _, err := store.Exec(ctx, queries[0]); !errors.Is(err, context.Canceled) {
+		t.Errorf("post-cancel Exec: got %v, want context.Canceled", err)
+	}
+}
+
+// TestStoreRefresh checks pooled readers are retired after Refresh so
+// updates become visible, and stay frozen before it.
+func TestStoreRefresh(t *testing.T) {
+	c := sampleCollection(t)
+	ix, err := New(c, WithPageSize(512), WithBlockPostings(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore(ix, 4)
+	ctx := context.Background()
+	q := SubsetQuery([]Item{1, 2, 3})
+	before, err := store.Exec(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := ix.Insert([]Item{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, err := store.Exec(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stale) != len(before) {
+		// Permitted: sync.Pool may have dropped the reader (GC), and a
+		// freshly created one legitimately sees the insert.
+		t.Logf("pooled reader recycled before Refresh: %d vs %d", len(stale), len(before))
+	}
+	store.Refresh()
+	fresh, err := store.Exec(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, got := range fresh {
+		if got == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("refreshed reader misses inserted record %d: %v", id, fresh)
+	}
+}
