@@ -1,6 +1,11 @@
 GO ?= go
+GOLANGCI ?= golangci-lint
+# Coverage floor (percent) enforced by `make cover` over the public API
+# package and the shard planner.
+COVER_FLOOR ?= 75
+COVER_PKGS = ./setcontain/... ./internal/stats/...
 
-.PHONY: all build vet test bench check
+.PHONY: all build vet test bench lint cover check
 
 all: check
 
@@ -13,7 +18,20 @@ vet:
 test:
 	$(GO) test -race ./...
 
+# Run every benchmark once, across all packages, without re-running unit
+# tests — the CI bench-smoke job uses the same invocation.
 bench:
-	$(GO) test -bench=. -benchtime=1x .
+	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
+
+lint:
+	$(GOLANGCI) run ./...
+
+cover:
+	$(GO) test -coverprofile=coverage.out $(COVER_PKGS)
+	@$(GO) tool cover -func=coverage.out | awk -v floor=$(COVER_FLOOR) \
+		'/^total:/ { seen = 1; sub(/%/, "", $$3); \
+		 if ($$3 + 0 < floor) { printf "FAIL: coverage %.1f%% below floor %d%%\n", $$3, floor; exit 1 } \
+		 else { printf "coverage %.1f%% (floor %d%%)\n", $$3, floor } } \
+		 END { if (!seen) { print "FAIL: no coverage total (go tool cover failed?)"; exit 1 } }'
 
 check: build vet test

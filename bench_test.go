@@ -251,15 +251,9 @@ func BenchmarkSpaceBuild(b *testing.B) {
 // goal rides on — against the same engines the figures use.
 func BenchmarkStoreExecBatch(b *testing.B) {
 	pair, gen := synthFixture(b)
-	var queries []setcontain.Query
-	for _, kind := range []workload.Kind{workload.Subset, workload.Equality, workload.Superset} {
-		for _, q := range gen.Queries(kind, 4, 10) {
-			pq, err := experiments.AsQuery(q)
-			if err != nil {
-				b.Fatal(err)
-			}
-			queries = append(queries, pq)
-		}
+	queries, err := experiments.MixedQueries(gen, 4, 10)
+	if err != nil {
+		b.Fatal(err)
 	}
 	if len(queries) == 0 {
 		b.Skip("no queries available at this scale")
@@ -336,4 +330,64 @@ func BenchmarkSummaryUpdate(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- Sharded engine: scale-out build and throughput ---------------------
+
+// BenchmarkShardedBuild times the parallel shard build at increasing
+// shard counts; on multi-core machines build time drops with shards.
+func BenchmarkShardedBuild(b *testing.B) {
+	cfg := benchCfg()
+	d, err := dataset.GenerateSynthetic(cfg.SyntheticDefaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards%02d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := setcontain.New(setcontain.WrapDataset(d),
+					setcontain.WithKind(setcontain.Sharded),
+					setcontain.WithShards(shards),
+					setcontain.WithBuildParallelism(shards),
+				); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedStoreExecBatch replays the mixed Store workload of
+// BenchmarkStoreExecBatch against sharded engines, sweeping the shard
+// count; compare against that benchmark's single-engine numbers.
+func BenchmarkShardedStoreExecBatch(b *testing.B) {
+	pair, gen := synthFixture(b)
+	queries, err := experiments.MixedQueries(gen, 4, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(queries) == 0 {
+		b.Skip("no queries available at this scale")
+	}
+	ctx := context.Background()
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards%02d", shards), func(b *testing.B) {
+			idx, err := setcontain.New(setcontain.WrapDataset(pair.Data),
+				setcontain.WithKind(setcontain.Sharded),
+				setcontain.WithShards(shards),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			store := setcontain.NewStore(idx, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := store.ExecBatch(ctx, queries); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(queries)), "queries/batch")
+		})
+	}
 }

@@ -26,9 +26,10 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "one of: all (= every paper artefact: fig7-fig10, space, ordering, summary, ablations), or concurrency (extra-paper Store sweep, run explicitly)")
-		engine     = flag.String("engine", "oif", "engine for -experiment concurrency: oif, if, or ubt")
-		workers    = flag.Int("workers", 8, "max goroutines for -experiment concurrency (swept 1,2,4,...)")
+		experiment = flag.String("experiment", "all", "one of: all (= every paper artefact: fig7-fig10, space, ordering, summary, ablations), concurrency (extra-paper Store sweep), or sharding (Sharded engine scale-out sweep)")
+		engine     = flag.String("engine", "oif", "engine for -experiment concurrency: oif, if, ubt, or sharded")
+		workers    = flag.Int("workers", 8, "max goroutines for -experiment concurrency (swept 1,2,4,...) and the -experiment sharding query load")
+		shards     = flag.Int("shards", 8, "max shard count for -experiment sharding (swept 1,2,4,...)")
 		scale      = flag.Float64("scale", 0.01, "fraction of the paper's synthetic |D| (1.0 = paper scale)")
 		realScale  = flag.Float64("realscale", 0.1, "fraction of the real-dataset twins' record counts")
 		queries    = flag.Int("queries", 10, "queries per size and type (the paper uses 10)")
@@ -77,6 +78,8 @@ func main() {
 			os.Exit(2)
 		}
 		_, err = experiments.RunConcurrency(cfg, kind, *workers)
+	case "sharding":
+		_, err = experiments.RunSharding(cfg, *shards, *workers)
 	default:
 		fmt.Fprintf(os.Stderr, "oifbench: unknown experiment %q\n", *experiment)
 		flag.Usage()

@@ -34,7 +34,8 @@ func main() {
 		dataPath = flag.String("data", "", "dataset file")
 		format   = flag.String("format", "text", "dataset format: text, or msweb (UCI Anonymous Microsoft Web Data)")
 		replicas = flag.Int("replicas", 1, "replicate the dataset this many times (the paper uses 10 for msweb)")
-		kindName = flag.String("index", "oif", "index kind: oif, if, or ubt")
+		kindName = flag.String("index", "oif", "index kind: oif, if, ubt, or sharded")
+		shards   = flag.Int("shards", 0, "shard count for -index sharded (0 = one per CPU)")
 		maxShow  = flag.Int("maxshow", 20, "maximum record ids to print per answer")
 		savePath = flag.String("save", "", "write an OIF snapshot here after building")
 		loadPath = flag.String("load", "", "load an OIF snapshot instead of building from -data")
@@ -76,7 +77,7 @@ func main() {
 	fmt.Printf("loaded %d records over %d items; building %s index...\n",
 		coll.Len(), coll.DomainSize(), kind)
 	start := time.Now()
-	idx, err := setcontain.New(coll, setcontain.WithKind(kind))
+	idx, err := setcontain.New(coll, setcontain.WithKind(kind), setcontain.WithShards(*shards))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "oifquery: build: %v\n", err)
 		os.Exit(1)

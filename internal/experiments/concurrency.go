@@ -53,15 +53,9 @@ func RunConcurrency(cfg Config, kind setcontain.Kind, maxWorkers int) (Concurren
 	}
 
 	gen := workload.NewGenerator(d, cfg.Seed+1000)
-	var queries []setcontain.Query
-	for _, k := range []workload.Kind{workload.Subset, workload.Equality, workload.Superset} {
-		for _, q := range gen.Queries(k, 4, cfg.QueriesPerSize) {
-			pq, err := AsQuery(q)
-			if err != nil {
-				return ConcurrencyResult{}, err
-			}
-			queries = append(queries, pq)
-		}
+	queries, err := MixedQueries(gen, 4, cfg.QueriesPerSize)
+	if err != nil {
+		return ConcurrencyResult{}, err
 	}
 	if len(queries) == 0 {
 		return ConcurrencyResult{}, fmt.Errorf("experiments: no queries at scale %g", cfg.Scale)

@@ -380,3 +380,36 @@ func TestRunAblationsSmall(t *testing.T) {
 		t.Fatalf("tag panel label %q lacks tree size", fig.Panels[1].Points[0].Param)
 	}
 }
+
+// TestRunShardingSweep smoke-tests the scale-out sweep: every point
+// must report a build time, sustained throughput, and one planning
+// decision per shard, and the shard counts must double up to the cap.
+func TestRunShardingSweep(t *testing.T) {
+	var out bytes.Buffer
+	cfg := tinyConfig(&out)
+	res, err := RunSharding(cfg, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries <= 0 || res.Workers != 2 {
+		t.Fatalf("sweep shape wrong: %+v", res)
+	}
+	wantShards := []int{1, 2, 4}
+	if len(res.Points) != len(wantShards) {
+		t.Fatalf("swept %d points, want %d", len(res.Points), len(wantShards))
+	}
+	for i, pt := range res.Points {
+		if pt.Shards != wantShards[i] {
+			t.Errorf("point %d: shards %d, want %d", i, pt.Shards, wantShards[i])
+		}
+		if pt.BuildTime <= 0 || pt.Elapsed <= 0 || pt.QPS <= 0 {
+			t.Errorf("point %d: empty measurements: %+v", i, pt)
+		}
+		if len(pt.Plans) != pt.Shards {
+			t.Errorf("point %d: %d plans for %d shards", i, len(pt.Plans), pt.Shards)
+		}
+	}
+	if !strings.Contains(out.String(), "Sharded engine sweep") {
+		t.Fatalf("report missing header:\n%s", out.String())
+	}
+}

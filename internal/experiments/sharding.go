@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/workload"
+	"repro/setcontain"
+)
+
+// ShardingPoint is one measured shard count: how long the parallel
+// build took and what query throughput the Store sustained.
+type ShardingPoint struct {
+	Shards    int
+	BuildTime time.Duration
+	Elapsed   time.Duration
+	QPS       float64
+	// Plans records the skew-aware planner's per-shard decision.
+	Plans []setcontain.ShardPlan
+}
+
+// ShardingResult is the shard-count sweep over one dataset.
+type ShardingResult struct {
+	Queries int
+	Workers int
+	Points  []ShardingPoint
+}
+
+// RunSharding sweeps the Sharded engine's shard count (1, 2, 4, ... up
+// to maxShards) over the default synthetic dataset — the ROADMAP's
+// scale-out scenario. For each point it times the parallel shard build,
+// then replays a mixed workload through Store.Exec from `workers`
+// goroutines and reports aggregate throughput; the per-shard planning
+// decisions (inner engine kind, fitted skew) are printed alongside.
+// Gains track the machine: on one core the sweep degenerates to
+// overhead measurement, on N cores both build time and QPS scale.
+func RunSharding(cfg Config, maxShards, workers int) (ShardingResult, error) {
+	cfg.fill()
+	if maxShards <= 0 {
+		maxShards = 8
+	}
+	if workers <= 0 {
+		workers = 8
+	}
+	d, err := dataset.GenerateSynthetic(cfg.SyntheticDefaults())
+	if err != nil {
+		return ShardingResult{}, err
+	}
+
+	gen := workload.NewGenerator(d, cfg.Seed+2000)
+	queries, err := MixedQueries(gen, 4, cfg.QueriesPerSize)
+	if err != nil {
+		return ShardingResult{}, err
+	}
+	if len(queries) == 0 {
+		return ShardingResult{}, fmt.Errorf("experiments: no queries at scale %g", cfg.Scale)
+	}
+	const rounds = 20
+	total := len(queries) * rounds
+
+	res := ShardingResult{Queries: total, Workers: workers}
+	w := cfg.Out
+	fmt.Fprintf(w, "=== Sharded engine sweep (|D|=%d, %d queries/point, %d workers) ===\n",
+		d.Len(), total, workers)
+	for shards := 1; shards <= maxShards; shards *= 2 {
+		// Keep the aggregate cache budget constant across points: each
+		// shard gets PoolPages/shards pages, so throughput differences
+		// reflect the sharding mechanism rather than cache growth. Block
+		// postings are deliberately NOT passed — sizing the OIF frontier
+		// from each shard's hottest list is the planner decision this
+		// sweep exists to exercise.
+		perShardCache := cfg.PoolPages / shards
+		if perShardCache < 1 {
+			perShardCache = 1
+		}
+		buildStart := time.Now()
+		idx, err := setcontain.New(setcontain.WrapDataset(d),
+			setcontain.WithKind(setcontain.Sharded),
+			setcontain.WithShards(shards),
+			setcontain.WithBuildParallelism(shards),
+			setcontain.WithPageSize(cfg.PageSize),
+			setcontain.WithCachePages(perShardCache),
+		)
+		if err != nil {
+			return ShardingResult{}, fmt.Errorf("experiments: build %d shards: %w", shards, err)
+		}
+		buildTime := time.Since(buildStart)
+
+		store := setcontain.NewStore(idx, perShardCache)
+		elapsed, err := runStoreWorkers(store, queries, rounds, workers)
+		if err != nil {
+			return ShardingResult{}, err
+		}
+		pt := ShardingPoint{
+			Shards:    shards,
+			BuildTime: buildTime,
+			Elapsed:   elapsed,
+			QPS:       float64(total) / elapsed.Seconds(),
+			Plans:     setcontain.ShardPlans(idx.Engine()),
+		}
+		res.Points = append(res.Points, pt)
+		fmt.Fprintf(w, "shards=%2d  build=%-10s  query=%-12s  %10.0f queries/s  inner=%s\n",
+			pt.Shards, pt.BuildTime.Round(time.Millisecond),
+			pt.Elapsed.Round(time.Microsecond), pt.QPS, summarisePlans(pt.Plans))
+	}
+	return res, nil
+}
+
+// summarisePlans compresses per-shard decisions into e.g. "OIF x4" or
+// "OIF x3 + IF x1".
+func summarisePlans(plans []setcontain.ShardPlan) string {
+	counts := map[setcontain.Kind]int{}
+	for _, p := range plans {
+		counts[p.Kind]++
+	}
+	out := ""
+	for _, k := range setcontain.Kinds() {
+		if n := counts[k]; n > 0 {
+			if out != "" {
+				out += " + "
+			}
+			out += fmt.Sprintf("%s x%d", k, n)
+		}
+	}
+	if out == "" {
+		out = "none"
+	}
+	return out
+}

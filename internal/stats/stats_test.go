@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// zipfCounts fabricates an exact rank-frequency curve C/rank^theta.
+func zipfCounts(n int, c float64, theta float64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		v := int64(math.Round(c / math.Pow(float64(i+1), theta)))
+		if v < 1 {
+			v = 1
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestFitZipfRecoversExponent(t *testing.T) {
+	for _, theta := range []float64{0, 0.4, 0.8, 1.0} {
+		got := FitZipf(zipfCounts(500, 1e6, theta))
+		if math.Abs(got-theta) > 0.05 {
+			t.Errorf("FitZipf(theta=%g) = %g", theta, got)
+		}
+	}
+}
+
+func TestFitZipfDegenerate(t *testing.T) {
+	if got := FitZipf(nil); got != 0 {
+		t.Errorf("FitZipf(nil) = %g", got)
+	}
+	if got := FitZipf([]int64{7}); got != 0 {
+		t.Errorf("FitZipf(single) = %g", got)
+	}
+	if got := FitZipf([]int64{5, 5, 5, 5}); got != 0 {
+		t.Errorf("FitZipf(flat) = %g", got)
+	}
+}
+
+func TestCollectorProfile(t *testing.T) {
+	c := NewCollector(10)
+	c.Add([]uint32{0, 1, 2})
+	c.Add([]uint32{0, 1})
+	c.Add([]uint32{0})
+	c.Add(nil)
+	p := c.Profile(2)
+	if p.NumRecords != 4 || p.TotalPostings != 6 || p.DomainSize != 10 {
+		t.Fatalf("profile shape wrong: %+v", p)
+	}
+	if p.Distinct != 3 || p.MaxFreq != 3 || p.MaxCardinality != 3 {
+		t.Fatalf("distribution wrong: %+v", p)
+	}
+	if p.AvgCardinality != 1.5 {
+		t.Fatalf("avg cardinality %g", p.AvgCardinality)
+	}
+	if len(p.TopK) != 2 || p.TopK[0] != (ItemFreq{Item: 0, Count: 3}) || p.TopK[1] != (ItemFreq{Item: 1, Count: 2}) {
+		t.Fatalf("top-k wrong: %+v", p.TopK)
+	}
+}
+
+func TestCollectorIgnoresOutOfDomain(t *testing.T) {
+	c := NewCollector(2)
+	c.Add([]uint32{0, 5})
+	p := c.Profile(4)
+	if p.Distinct != 1 || p.TotalPostings != 2 {
+		t.Fatalf("out-of-domain handling wrong: %+v", p)
+	}
+}
+
+// TestPlanOnGeneratedData exercises the whole pipeline on the paper's
+// synthetic generator: a Zipf-0.8 collection must plan the OIF, a
+// uniform one the plain inverted file.
+func TestPlanOnGeneratedData(t *testing.T) {
+	for _, tc := range []struct {
+		theta   float64
+		wantOIF bool
+	}{
+		{0.8, true},
+		{1.0, true},
+		{0.0, false},
+	} {
+		d, err := dataset.GenerateSynthetic(dataset.SyntheticConfig{
+			NumRecords: 5000, DomainSize: 500, MinLen: 2, MaxLen: 12,
+			ZipfTheta: tc.theta, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := NewCollector(d.DomainSize())
+		for _, r := range d.Records() {
+			c.Add(r.Set)
+		}
+		p := c.Profile(8)
+		plan := p.Plan()
+		if plan.UseOIF != tc.wantOIF {
+			t.Errorf("theta=%g: plan.UseOIF = %v (fitted theta %.2f)", tc.theta, plan.UseOIF, p.Theta)
+		}
+		if plan.UseOIF {
+			if plan.BlockPostings < minBlockPostings || plan.BlockPostings > maxBlockPostings {
+				t.Errorf("theta=%g: frontier block %d outside [%d,%d]", tc.theta,
+					plan.BlockPostings, minBlockPostings, maxBlockPostings)
+			}
+			if plan.BlockPostings&(plan.BlockPostings-1) != 0 {
+				t.Errorf("theta=%g: frontier block %d not a power of two", tc.theta, plan.BlockPostings)
+			}
+		} else if plan.BlockPostings != 0 {
+			t.Errorf("theta=%g: uniform plan sized a frontier: %+v", tc.theta, plan)
+		}
+	}
+}
+
+// TestTinyDomainNeverSkewed guards the planner against fitting noise on
+// a handful of distinct items.
+func TestTinyDomainNeverSkewed(t *testing.T) {
+	c := NewCollector(4)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		c.Add([]uint32{uint32(rng.Intn(4))})
+	}
+	if p := c.Profile(4); p.Skewed() {
+		t.Fatalf("4-item domain profiled as skewed: %+v", p)
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 17: 32, 64: 64}
+	for in, want := range cases {
+		if got := nextPow2(in); got != want {
+			t.Errorf("nextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

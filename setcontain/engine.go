@@ -85,15 +85,18 @@ var engineBuilders = map[Kind]func(*dataset.Dataset, Options) (Engine, error){
 	OIF:            buildOIFEngine,
 	InvertedFile:   buildInvEngine,
 	UnorderedBTree: buildUBTEngine,
+	Sharded:        buildShardedEngine,
 }
 
 // Kinds lists the registered engine kinds in declaration order.
-func Kinds() []Kind { return []Kind{OIF, InvertedFile, UnorderedBTree} }
+func Kinds() []Kind { return []Kind{OIF, InvertedFile, UnorderedBTree, Sharded} }
 
 // EngineOf wraps an already-built backend index (*core.Index,
-// *invfile.Index, or *ubtree.Index) in its Engine adapter. The backend's
-// current buffer pool is kept; this is the entry point for measurement
-// code that builds backends with non-default knobs.
+// *invfile.Index, or *ubtree.Index) in its Engine adapter, or rewraps a
+// []Engine shard slice (as returned by a sharded engine's Unwrap) into a
+// sharded engine. The backend's current buffer pool is kept; this is the
+// entry point for measurement code that builds backends with non-default
+// knobs.
 func EngineOf(backend any) (Engine, error) {
 	switch ix := backend.(type) {
 	case *core.Index:
@@ -102,6 +105,8 @@ func EngineOf(backend any) (Engine, error) {
 		return &invEngine{baseEngine{b: ix, kind: InvertedFile}}, nil
 	case *ubtree.Index:
 		return &ubtEngine{baseEngine{b: ix, kind: UnorderedBTree}}, nil
+	case []Engine:
+		return shardedOf(ix)
 	default:
 		return nil, fmt.Errorf("setcontain: no engine adapter for %T", backend)
 	}

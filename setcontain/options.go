@@ -20,6 +20,11 @@ const (
 	// UnorderedBTree indexes list blocks in a B-tree without the OIF's
 	// global ordering or metadata (the paper's ablation).
 	UnorderedBTree
+	// Sharded hash-partitions records across N inner engines built in
+	// parallel, each chosen per shard by item-frequency skew (OIF for
+	// skewed shards, InvertedFile otherwise); queries fan out to every
+	// shard and merge in global id order. See WithShards.
+	Sharded
 )
 
 func (k Kind) String() string {
@@ -30,13 +35,16 @@ func (k Kind) String() string {
 		return "IF"
 	case UnorderedBTree:
 		return "UBT"
+	case Sharded:
+		return "Sharded"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
 }
 
 // ParseKind resolves the conventional engine names used by the CLIs:
-// "oif", "if" (or "invfile"), and "ubt" (or "ubtree"), case-insensitively.
+// "oif", "if" (or "invfile"), "ubt" (or "ubtree"), and "sharded",
+// case-insensitively.
 func ParseKind(s string) (Kind, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "oif":
@@ -45,8 +53,10 @@ func ParseKind(s string) (Kind, error) {
 		return InvertedFile, nil
 	case "ubt", "ubtree", "unordered-btree":
 		return UnorderedBTree, nil
+	case "sharded":
+		return Sharded, nil
 	default:
-		return 0, fmt.Errorf("setcontain: unknown index kind %q (want oif, if, or ubt)", s)
+		return 0, fmt.Errorf("setcontain: unknown index kind %q (want oif, if, ubt, or sharded)", s)
 	}
 }
 
@@ -67,6 +77,18 @@ type Options struct {
 	// tags shrink the index markedly at a small cost in extra boundary
 	// block reads. Ignored by the other kinds.
 	TagPrefix int
+	// Shards is the Sharded engine's partition count (default: one per
+	// CPU, minimum 2). Ignored by the other kinds.
+	Shards int
+	// BuildParallelism bounds the goroutines building shards in parallel
+	// (default GOMAXPROCS). Ignored by the other kinds.
+	BuildParallelism int
+
+	// blockPostingsExplicit records (at fill time) whether the caller set
+	// BlockPostings, so the sharded planner only sizes the OIF frontier
+	// when the value is the filled-in default — an explicit
+	// WithBlockPostings always wins, even when it equals the default.
+	blockPostingsExplicit bool
 }
 
 // fill applies the documented defaults in place.
@@ -74,6 +96,7 @@ func (o *Options) fill() {
 	if o.PageSize == 0 {
 		o.PageSize = storage.DefaultPageSize
 	}
+	o.blockPostingsExplicit = o.BlockPostings != 0
 	if o.BlockPostings == 0 {
 		o.BlockPostings = core.DefaultBlockPostings
 	}
@@ -109,3 +132,11 @@ func WithCachePages(n int) Option { return func(o *Options) { o.CachePages = n }
 
 // WithTagPrefix truncates OIF block tags to n leading items.
 func WithTagPrefix(n int) Option { return func(o *Options) { o.TagPrefix = n } }
+
+// WithShards sets the Sharded engine's partition count (n <= 0 keeps
+// the default: one shard per CPU, minimum 2).
+func WithShards(n int) Option { return func(o *Options) { o.Shards = n } }
+
+// WithBuildParallelism bounds the goroutines building shards in
+// parallel (n <= 0 keeps the default GOMAXPROCS).
+func WithBuildParallelism(n int) Option { return func(o *Options) { o.BuildParallelism = n } }

@@ -60,7 +60,21 @@ func (r *Reader) CacheStats() CacheStats { return cacheStatsOf(r.r.Stats()) }
 // ResetCacheStats zeroes this reader's statistics.
 func (r *Reader) ResetCacheStats() { r.r.ResetStats() }
 
+// interruptPropagator is implemented by composite readers (the sharded
+// reader) that must install the cancellation hook on several pools.
+type interruptPropagator interface {
+	setInterrupt(fn func() error)
+}
+
 // setInterrupt installs fn as the reader's cancellation check, consulted
 // by its buffer pool between list-block reads. Store.Exec wires a
-// context's Err here for the duration of a query.
-func (r *Reader) setInterrupt(fn func() error) { r.r.Pool().SetInterrupt(fn) }
+// context's Err here for the duration of a query. Composite readers
+// propagate the hook to every shard pool, so fn must tolerate concurrent
+// calls.
+func (r *Reader) setInterrupt(fn func() error) {
+	if p, ok := r.r.(interruptPropagator); ok {
+		p.setInterrupt(fn)
+		return
+	}
+	r.r.Pool().SetInterrupt(fn)
+}

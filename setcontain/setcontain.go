@@ -15,12 +15,15 @@
 // # Engines
 //
 // Every index kind is an Engine: a pluggable backend implementing the
-// uniform query/update interface. Three engines are registered: OIF (the
+// uniform query/update interface. Four engines are registered: OIF (the
 // paper's contribution, default), InvertedFile (the classic baseline),
-// and UnorderedBTree (the paper's ablation). All answer the same queries
-// with identical results; they differ in I/O behaviour, which CacheStats
-// exposes. Kind and Options form the registry that selects an engine;
-// Index is a thin convenience wrapper around one.
+// UnorderedBTree (the paper's ablation), and Sharded (records
+// hash-partitioned across N inner engines built in parallel, each
+// chosen per shard by item-frequency skew, with queries fanned out and
+// merged in global id order — see WithShards). All answer the same
+// queries with identical results; they differ in I/O behaviour, which
+// CacheStats exposes. Kind and Options form the registry that selects
+// an engine; Index is a thin convenience wrapper around one.
 //
 // # Queries
 //

@@ -11,8 +11,8 @@ import (
 func buildAll(t *testing.T, c *Collection) map[Kind]*Index {
 	t.Helper()
 	out := make(map[Kind]*Index)
-	for _, k := range []Kind{OIF, InvertedFile, UnorderedBTree} {
-		ix, err := Build(c, Options{Kind: k, PageSize: 512, BlockPostings: 8})
+	for _, k := range Kinds() {
+		ix, err := Build(c, Options{Kind: k, PageSize: 512, BlockPostings: 8, Shards: 3})
 		if err != nil {
 			t.Fatalf("Build(%v): %v", k, err)
 		}
@@ -185,7 +185,7 @@ func TestCacheStats(t *testing.T) {
 
 func TestInsertAndMergeAcrossKinds(t *testing.T) {
 	c := sampleCollection(t)
-	for _, kind := range []Kind{OIF, InvertedFile} {
+	for _, kind := range []Kind{OIF, InvertedFile, Sharded} {
 		ix, err := Build(c, Options{Kind: kind, PageSize: 512, BlockPostings: 8})
 		if err != nil {
 			t.Fatal(err)
@@ -319,7 +319,7 @@ func TestTagPrefixOption(t *testing.T) {
 
 func TestReadersAcrossKindsConcurrently(t *testing.T) {
 	c := sampleCollection(t)
-	for _, kind := range []Kind{OIF, InvertedFile, UnorderedBTree} {
+	for _, kind := range []Kind{OIF, InvertedFile, UnorderedBTree, Sharded} {
 		ix, err := Build(c, Options{Kind: kind, PageSize: 512, BlockPostings: 8})
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,481 @@
+package setcontain
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"iter"
+	"runtime"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+// The sharded engine hash-partitions records across N inner engines and
+// answers every query by fanning it out to all shards in parallel,
+// merging the per-shard streams back into one ascending global-id
+// sequence. Partitioning is by record id modulo N (round-robin), so the
+// global id of shard s's local record L is recoverable in O(1):
+//
+//	global = (L-1)*N + s + 1
+//
+// and each shard's ascending local answer maps to an ascending global
+// subsequence — the merge is a pure k-way interleave, which is what
+// makes sharded answers byte-identical to the single-engine ones.
+//
+// Each shard's inner engine is chosen per shard by internal/stats while
+// the records stream in: skewed shards get the paper's Ordered Inverted
+// File (with a frontier block size fitted to the shard's hottest list),
+// uniform shards the plain inverted file. The shard count therefore also
+// decides how much of the paper's skew machinery is deployed — the skew
+// insight becomes a planning decision instead of a manual flag.
+
+// ShardPlan records the planning decision made for one shard at build
+// time; ShardPlans exposes them for inspection and experiment reports.
+type ShardPlan struct {
+	// Shard is the shard's position in [0, NumShards).
+	Shard int
+	// Kind is the inner engine the planner chose.
+	Kind Kind
+	// Records is the number of records routed to the shard.
+	Records int
+	// Theta is the Zipf exponent fitted to the shard's item frequencies.
+	Theta float64
+	// BlockPostings is the OIF frontier size chosen (0 for non-OIF).
+	BlockPostings int
+}
+
+type shardedEngine struct {
+	shards []Engine
+	plans  []ShardPlan
+	domain int
+}
+
+// errShardedPool reports that the sharded engine has no single buffer
+// pool to re-point; meter its shards individually via Unwrap.
+var errShardedPool = errors.New("setcontain: sharded engine has per-shard buffer pools; meter shards via Unwrap")
+
+// buildShardedEngine partitions the dataset round-robin across
+// opts.Shards sub-datasets, profiles each shard's item-frequency skew
+// during the split, and builds every shard's planner-chosen engine in
+// parallel (bounded by opts.BuildParallelism goroutines).
+func buildShardedEngine(ds *dataset.Dataset, opts Options) (Engine, error) {
+	n := opts.Shards
+	if n <= 0 {
+		n = defaultShards()
+	}
+	par := opts.BuildParallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > n {
+		par = n
+	}
+
+	// Split round-robin, profiling each shard as its records stream in.
+	subs := make([]*dataset.Dataset, n)
+	colls := make([]*stats.Collector, n)
+	for s := range subs {
+		subs[s] = dataset.New(ds.DomainSize())
+		colls[s] = stats.NewCollector(ds.DomainSize())
+	}
+	for i, r := range ds.Records() {
+		s := i % n
+		if _, err := subs[s].Add(r.Set); err != nil {
+			return nil, fmt.Errorf("setcontain: shard %d: %w", s, err)
+		}
+		colls[s].Add(r.Set)
+	}
+
+	eng := &shardedEngine{
+		shards: make([]Engine, n),
+		plans:  make([]ShardPlan, n),
+		domain: ds.DomainSize(),
+	}
+	var (
+		wg   sync.WaitGroup
+		sem  = make(chan struct{}, par)
+		mu   sync.Mutex
+		fail error
+	)
+	for s := 0; s < n; s++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(s int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			shardEng, plan, err := buildShard(subs[s], colls[s], opts)
+			if err != nil {
+				mu.Lock()
+				if fail == nil {
+					fail = fmt.Errorf("setcontain: shard %d: %w", s, err)
+				}
+				mu.Unlock()
+				return
+			}
+			plan.Shard = s
+			eng.shards[s] = shardEng
+			eng.plans[s] = plan
+		}(s)
+	}
+	wg.Wait()
+	if fail != nil {
+		return nil, fail
+	}
+	return eng, nil
+}
+
+// buildShard plans and builds one shard's inner engine from its profiled
+// distribution. The planner's frontier size replaces the OIF block cap
+// only when the caller left it unset — an explicit WithBlockPostings
+// always wins, even at the default value.
+func buildShard(sub *dataset.Dataset, coll *stats.Collector, opts Options) (Engine, ShardPlan, error) {
+	profile := coll.Profile(8)
+	plan := profile.Plan()
+	sp := ShardPlan{Records: sub.Len(), Theta: plan.Theta}
+
+	inner := opts
+	inner.Shards = 0
+	build := buildInvEngine
+	inner.Kind = InvertedFile
+	if plan.UseOIF {
+		build = buildOIFEngine
+		inner.Kind = OIF
+		if !inner.blockPostingsExplicit && plan.BlockPostings > 0 {
+			inner.BlockPostings = plan.BlockPostings
+		}
+		sp.BlockPostings = inner.BlockPostings
+	}
+	sp.Kind = inner.Kind
+	eng, err := build(sub, inner)
+	if err != nil {
+		return nil, ShardPlan{}, err
+	}
+	return eng, sp, nil
+}
+
+// defaultShards is the shard count when WithShards is absent: one per
+// available CPU, but at least two so the sharded paths are exercised
+// even on a single-core box.
+func defaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// shardedOf rewraps already-built inner engines (EngineOf's []Engine
+// case). The engines must hold a round-robin partition in shard order,
+// as produced by a sharded build.
+func shardedOf(shards []Engine) (Engine, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("setcontain: sharded engine needs at least one shard")
+	}
+	eng := &shardedEngine{
+		shards: shards,
+		plans:  make([]ShardPlan, len(shards)),
+		domain: shards[0].DomainSize(),
+	}
+	for s, sh := range shards {
+		eng.plans[s] = ShardPlan{Shard: s, Kind: sh.Kind(), Records: sh.NumRecords()}
+	}
+	return eng, nil
+}
+
+// ShardPlans returns the per-shard planning decisions of a sharded
+// engine (or index over one), and nil for any other engine.
+func ShardPlans(e Engine) []ShardPlan {
+	se, ok := e.(*shardedEngine)
+	if !ok {
+		return nil
+	}
+	return append([]ShardPlan(nil), se.plans...)
+}
+
+func (e *shardedEngine) Kind() Kind      { return Sharded }
+func (e *shardedEngine) DomainSize() int { return e.domain }
+
+func (e *shardedEngine) NumRecords() int {
+	total := 0
+	for _, sh := range e.shards {
+		total += sh.NumRecords()
+	}
+	return total
+}
+
+// Unwrap returns the inner engines in shard order; EngineOf accepts the
+// slice back.
+func (e *shardedEngine) Unwrap() any { return append([]Engine(nil), e.shards...) }
+
+// MergeSeqs interleaves already-ascending id sequences into one
+// ascending sequence, consuming each input lazily (via iter.Pull) — the
+// streaming form of the k-way interleave the sharded engine's hot path
+// performs directly (mergeLocals). Inputs must yield comparable ids
+// from the same id space: per-shard *local* answers need the round-robin
+// global mapping applied first. Nil sequences are skipped.
+func MergeSeqs(seqs ...iter.Seq[uint32]) iter.Seq[uint32] {
+	return func(yield func(uint32) bool) {
+		type head struct {
+			v    uint32
+			next func() (uint32, bool)
+			stop func()
+		}
+		heads := make([]head, 0, len(seqs))
+		defer func() {
+			for _, h := range heads {
+				h.stop()
+			}
+		}()
+		for _, s := range seqs {
+			if s == nil {
+				continue
+			}
+			next, stop := iter.Pull(s)
+			v, ok := next()
+			if !ok {
+				stop()
+				continue
+			}
+			heads = append(heads, head{v: v, next: next, stop: stop})
+		}
+		for len(heads) > 0 {
+			mi := 0
+			for i := 1; i < len(heads); i++ {
+				if heads[i].v < heads[mi].v {
+					mi = i
+				}
+			}
+			if !yield(heads[mi].v) {
+				return
+			}
+			if v, ok := heads[mi].next(); ok {
+				heads[mi].v = v
+			} else {
+				heads[mi].stop()
+				heads[mi] = heads[len(heads)-1]
+				heads = heads[:len(heads)-1]
+			}
+		}
+	}
+}
+
+// fanOut runs query against every shard concurrently (the shards have
+// independent buffer pools, so one in-flight query per shard is safe),
+// then merges the per-shard answers in global id order. The merge is a
+// direct k-way interleave over the materialized local answers — the
+// hot query path skips the iter.Pull machinery; MergeSeqs provides the
+// same merge for callers composing lazy streams.
+func fanOut(nShards int, query func(shard int) ([]uint32, error)) ([]uint32, error) {
+	locals := make([][]uint32, nShards)
+	errs := make([]error, nShards)
+	var wg sync.WaitGroup
+	for s := 0; s < nShards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			locals[s], errs[s] = query(s)
+		}(s)
+	}
+	wg.Wait()
+	for s := range locals {
+		if errs[s] != nil {
+			return nil, errs[s]
+		}
+	}
+	return mergeLocals(locals), nil
+}
+
+// mergeLocals interleaves the shards' ascending local answers into one
+// ascending global-id slice, mapping local ids through the round-robin
+// partition on the fly.
+func mergeLocals(locals [][]uint32) []uint32 {
+	n := len(locals)
+	total := 0
+	for _, l := range locals {
+		total += len(l)
+	}
+	out := make([]uint32, 0, total)
+	if total == 0 {
+		return out
+	}
+	pos := make([]int, n)
+	for {
+		best := -1
+		var bestID uint32
+		for s, l := range locals {
+			if pos[s] >= len(l) {
+				continue
+			}
+			id := (l[pos[s]]-1)*uint32(n) + uint32(s) + 1
+			if best < 0 || id < bestID {
+				best, bestID = s, id
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, bestID)
+		pos[best]++
+	}
+}
+
+func (e *shardedEngine) Subset(qs []Item) ([]uint32, error) {
+	return fanOut(len(e.shards), func(s int) ([]uint32, error) { return e.shards[s].Subset(qs) })
+}
+
+func (e *shardedEngine) Equality(qs []Item) ([]uint32, error) {
+	return fanOut(len(e.shards), func(s int) ([]uint32, error) { return e.shards[s].Equality(qs) })
+}
+
+func (e *shardedEngine) Superset(qs []Item) ([]uint32, error) {
+	return fanOut(len(e.shards), func(s int) ([]uint32, error) { return e.shards[s].Superset(qs) })
+}
+
+// Insert routes the record to the shard the round-robin partition
+// assigns its global id, so the id mapping stays exact across updates.
+func (e *shardedEngine) Insert(set []Item) (uint32, error) {
+	n := len(e.shards)
+	global := uint32(e.NumRecords() + 1)
+	s := int(global-1) % n
+	local, err := e.shards[s].Insert(set)
+	if err != nil {
+		return 0, err
+	}
+	if mapped := (local-1)*uint32(n) + uint32(s) + 1; mapped != global {
+		return 0, fmt.Errorf("setcontain: shard %d id drift: local %d maps to %d, want %d",
+			s, local, mapped, global)
+	}
+	e.plans[s].Records++
+	return global, nil
+}
+
+// MergeDelta folds every shard's pending inserts in parallel.
+func (e *shardedEngine) MergeDelta() error {
+	errs := make([]error, len(e.shards))
+	var wg sync.WaitGroup
+	for s := range e.shards {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			errs[s] = e.shards[s].MergeDelta()
+		}(s)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+func (e *shardedEngine) PendingInserts() int {
+	total := 0
+	for _, sh := range e.shards {
+		total += sh.PendingInserts()
+	}
+	return total
+}
+
+// NewReader creates one reader per shard, each with its own cache of
+// cachePages pages (the budget is per shard: every shard fans out its
+// own list walks). The combined reader answers like the engine —
+// parallel fan-out, global-order merge — and propagates interrupts to
+// every shard pool, which is how Store cancellation reaches all shards.
+func (e *shardedEngine) NewReader(cachePages int) (*Reader, error) {
+	sr := &shardedReader{shards: make([]*Reader, len(e.shards))}
+	for s, sh := range e.shards {
+		r, err := sh.NewReader(cachePages)
+		if err != nil {
+			return nil, err
+		}
+		sr.shards[s] = r
+	}
+	return &Reader{r: sr}, nil
+}
+
+func (e *shardedEngine) Save(io.Writer) error { return ErrNoSnapshots }
+
+func (e *shardedEngine) Space() SpaceInfo {
+	var total SpaceInfo
+	for _, sh := range e.shards {
+		s := sh.Space()
+		total.Pages += s.Pages
+		total.Bytes += s.Bytes
+	}
+	return total
+}
+
+func (e *shardedEngine) Stats() CacheStats {
+	var total CacheStats
+	for _, sh := range e.shards {
+		s := sh.Stats()
+		total.Hits += s.Hits
+		total.PageReads += s.PageReads
+		total.Sequential += s.Sequential
+		total.Near += s.Near
+		total.Random += s.Random
+	}
+	return total
+}
+
+func (e *shardedEngine) ResetStats() {
+	for _, sh := range e.shards {
+		sh.ResetStats()
+	}
+}
+
+func (e *shardedEngine) SetPool(*storage.BufferPool) error { return errShardedPool }
+
+// Pool returns the first shard's pool so pool-shape probes (page size,
+// pager identity) keep working; metering must go per shard.
+func (e *shardedEngine) Pool() *storage.BufferPool { return e.shards[0].Pool() }
+
+// shardedReader is the engineReader behind a sharded Reader: isolated
+// per-shard readers queried with the same fan-out/merge as the engine.
+type shardedReader struct {
+	shards []*Reader
+}
+
+func (r *shardedReader) Subset(qs []Item) ([]uint32, error) {
+	return fanOut(len(r.shards), func(s int) ([]uint32, error) { return r.shards[s].Subset(qs) })
+}
+
+func (r *shardedReader) Equality(qs []Item) ([]uint32, error) {
+	return fanOut(len(r.shards), func(s int) ([]uint32, error) { return r.shards[s].Equality(qs) })
+}
+
+func (r *shardedReader) Superset(qs []Item) ([]uint32, error) {
+	return fanOut(len(r.shards), func(s int) ([]uint32, error) { return r.shards[s].Superset(qs) })
+}
+
+func (r *shardedReader) Stats() storage.AccessStats {
+	var total storage.AccessStats
+	for _, sh := range r.shards {
+		s := sh.r.Stats()
+		total.Hits += s.Hits
+		total.Misses += s.Misses
+		total.SeqMisses += s.SeqMisses
+		total.NearMisses += s.NearMisses
+		total.RandMisses += s.RandMisses
+	}
+	return total
+}
+
+func (r *shardedReader) ResetStats() {
+	for _, sh := range r.shards {
+		sh.ResetCacheStats()
+	}
+}
+
+// Pool returns the first shard reader's pool (see shardedEngine.Pool);
+// interrupts go through setInterrupt, which reaches every shard.
+func (r *shardedReader) Pool() *storage.BufferPool { return r.shards[0].r.Pool() }
+
+// setInterrupt installs the cancellation hook on every shard's pool, so
+// a context cancelled mid-query stops all shard fan-outs at their next
+// block read. The hook must be safe for concurrent calls — the shards
+// consult it in parallel.
+func (r *shardedReader) setInterrupt(fn func() error) {
+	for _, sh := range r.shards {
+		sh.setInterrupt(fn)
+	}
+}

@@ -17,6 +17,9 @@ import (
 // Exec and ExecBatch honour context cancellation: the borrowed reader's
 // buffer pool checks ctx.Err between list-block reads, so even a query
 // scanning a long inverted list stops promptly, returning ctx.Err().
+// Over a Sharded index each pooled reader carries one isolated reader
+// per shard, and the cancellation hook reaches every shard's pool, so
+// a cancelled query stops all shard fan-outs mid-stream.
 //
 // A Store serves the snapshot its readers were created from. After
 // Insert or MergeDelta on the underlying Index, call Refresh to retire
@@ -37,7 +40,11 @@ type storeReader struct {
 }
 
 // NewStore returns a store over ix whose pooled readers each carry a
-// private cache of cachePages pages (0 selects the default 32 KB).
+// private cache of cachePages pages (0 selects the default 32 KB). The
+// budget is per inner reader: over a Sharded index every pooled reader
+// holds one such cache per shard, so its footprint is cachePages times
+// the shard count — divide accordingly when comparing against (or
+// migrating from) a single-engine store under a fixed memory budget.
 func NewStore(ix *Index, cachePages int) *Store {
 	return &Store{ix: ix, cachePages: cachePages}
 }

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -137,10 +138,11 @@ func TestCancellationBetweenBlockReads(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			pages := 0
+			// Sharded readers consult the hook from every shard's pool
+			// concurrently, so the counter must be atomic.
+			var pages atomic.Int64
 			r.setInterrupt(func() error {
-				pages++
-				if pages > 2 {
+				if pages.Add(1) > 2 {
 					return context.Canceled
 				}
 				return nil
