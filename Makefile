@@ -5,7 +5,7 @@ GOLANGCI ?= golangci-lint
 COVER_FLOOR ?= 75
 COVER_PKGS = ./setcontain/... ./internal/stats/...
 
-.PHONY: all build vet test bench lint cover check
+.PHONY: all build vet test bench bench-baseline bench-compare lint cover check
 
 all: check
 
@@ -22,6 +22,38 @@ test:
 # tests — the CI bench-smoke job uses the same invocation.
 bench:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
+
+# Tier-1 hot-path benchmarks: the CPU-performance gate of the README's
+# "CPU performance" section.
+TIER1_BENCH = BenchmarkSubset|BenchmarkEquality|BenchmarkSuperset
+BENCH_TIME ?= 500x
+# Samples per benchmark; benchjson keeps the fastest (min ns/op), which
+# gates robustly on machines with background load.
+BENCH_COUNT ?= 5
+# ns/op regression tolerance for bench-compare, in percent.
+BENCH_TOLERANCE ?= 10
+
+# Refresh the checked-in CPU baseline: BENCH_PR3.json (standardized
+# ns/op, allocs/op, pages/op, decoded-hit-rate per benchmark) plus its
+# raw-text twin for benchstat.
+bench-baseline:
+	$(GO) test -run '^$$' -bench '$(TIER1_BENCH)' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) -benchmem . \
+		| tee BENCH_PR3.txt | $(GO) run ./cmd/benchjson > BENCH_PR3.json
+
+# Compare a fresh tier-1 run against the checked-in baseline, failing on
+# >$(BENCH_TOLERANCE)% ns/op regression. benchstat summarises the raw
+# runs when installed; the pass/fail gate is benchjson -compare either
+# way (no external dependency).
+bench-compare:
+	$(GO) test -run '^$$' -bench '$(TIER1_BENCH)' -benchtime=$(BENCH_TIME) -count=$(BENCH_COUNT) -benchmem . \
+		| tee bench-new.txt | $(GO) run ./cmd/benchjson > bench-new.json
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat BENCH_PR3.txt bench-new.txt; \
+	else \
+		echo "benchstat not installed; skipping statistical summary"; \
+	fi
+	$(GO) run ./cmd/benchjson -compare -threshold $(BENCH_TOLERANCE) \
+		-filter '^Benchmark(Subset|Equality|Superset)' BENCH_PR3.json bench-new.json
 
 lint:
 	$(GOLANGCI) run ./...

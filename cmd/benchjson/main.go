@@ -1,0 +1,259 @@
+// Command benchjson converts `go test -bench` output into a
+// standardized JSON document and compares two such documents for
+// regressions.
+//
+// Convert (reads bench output on stdin, writes JSON on stdout):
+//
+//	go test -run '^$' -bench=. -benchtime=100x ./... | benchjson > BENCH_PR3.json
+//
+// Compare (exit status 1 when any matching benchmark's ns/op regressed
+// beyond the threshold):
+//
+//	benchjson -compare -threshold 10 -filter '^Benchmark(Subset|Equality|Superset)' BENCH_PR3.json bench-new.json
+//
+// The JSON schema is the contract the CI bench-smoke job and `make
+// bench-compare` share: every benchmark carries its full metric row
+// (ns/op, B/op, allocs/op, and custom ReportMetric units such as
+// pages/op and decoded-hit-rate), so regressions in any dimension can
+// be diffed from per-SHA artifacts.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Report is the top-level BENCH_PR3.json document.
+type Report struct {
+	Schema     string      `json:"schema"` // "setcontain-bench/v1"
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"` // last pkg header seen
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one benchmark result line.
+type Benchmark struct {
+	Name       string             `json:"name"`            // without the -N procs suffix
+	Procs      int                `json:"procs,omitempty"` // GOMAXPROCS suffix (absent on single-CPU runs)
+	Package    string             `json:"package,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Samples    int                `json:"samples,omitempty"` // -count runs folded into this entry
+	Metrics    map[string]float64 `json:"metrics"`           // unit -> value (ns/op, allocs/op, ...)
+}
+
+func main() {
+	compare := flag.Bool("compare", false, "compare two JSON reports instead of converting")
+	threshold := flag.Float64("threshold", 10, "ns/op regression threshold in percent (compare mode)")
+	filter := flag.String("filter", "", "regexp of benchmark names to compare (empty = all)")
+	flag.Parse()
+
+	if *compare {
+		args := flag.Args()
+		if len(args) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare old.json new.json [-threshold pct] [-filter re]")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(args[0], args[1], *threshold, *filter))
+	}
+	report, err := parseBench(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// benchLine matches "BenchmarkName-8   	 100	  123 ns/op	 4 B/op ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-(\d+))?\s+(\d+)\s+(.*)$`)
+
+func parseBench(sc *bufio.Scanner) (*Report, error) {
+	r := &Report{Schema: "setcontain-bench/v1"}
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			r.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			r.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			r.Pkg = pkg
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			r.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b := Benchmark{Name: m[1], Package: pkg, Metrics: map[string]float64{}}
+		if m[2] != "" {
+			b.Procs, _ = strconv.Atoi(m[2])
+		}
+		iters, err := strconv.ParseInt(m[3], 10, 64)
+		if err != nil {
+			continue
+		}
+		b.Iterations = iters
+		fields := strings.Fields(m[4])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		if len(b.Metrics) == 0 {
+			continue
+		}
+		b.Samples = 1
+		r.Benchmarks = append(r.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(r.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found on stdin")
+	}
+	r.Benchmarks = foldSamples(r.Benchmarks)
+	return r, nil
+}
+
+// foldSamples collapses repeated runs of the same benchmark (go test
+// -count=N) into one entry holding the fastest sample's metric row —
+// the minimum ns/op is the standard noise-robust statistic for
+// regression gating on machines with background load.
+func foldSamples(in []Benchmark) []Benchmark {
+	index := map[string]int{}
+	out := in[:0]
+	for _, b := range in {
+		key := b.Package + "\x00" + b.Name
+		if i, ok := index[key]; ok {
+			prev := &out[i]
+			prev.Samples += b.Samples
+			if b.Metrics["ns/op"] < prev.Metrics["ns/op"] {
+				prev.Iterations = b.Iterations
+				prev.Metrics = b.Metrics
+			}
+			continue
+		}
+		index[key] = len(out)
+		out = append(out, b)
+	}
+	return out
+}
+
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// runCompare diffs new against old on ns/op and returns the process
+// exit status: 0 when every matched benchmark is within threshold, 1
+// otherwise.
+func runCompare(oldPath, newPath string, threshold float64, filter string) int {
+	oldR, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newR, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	var re *regexp.Regexp
+	if filter != "" {
+		re, err = regexp.Compile(filter)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: bad -filter:", err)
+			return 2
+		}
+	}
+	// Benchmarks are keyed by package+name so same-named benchmarks from
+	// different packages (a ./... run) never collide.
+	key := func(b Benchmark) string { return b.Package + "\x00" + b.Name }
+	display := func(k string) string {
+		pkg, name, _ := strings.Cut(k, "\x00")
+		if pkg == "" {
+			return name
+		}
+		return pkg + ":" + name
+	}
+	oldNs := map[string]float64{}
+	var baseline []string
+	for _, b := range oldR.Benchmarks {
+		v, ok := b.Metrics["ns/op"]
+		if !ok || (re != nil && !re.MatchString(b.Name)) {
+			continue
+		}
+		oldNs[key(b)] = v
+		baseline = append(baseline, key(b))
+	}
+	sort.Strings(baseline)
+	if len(baseline) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no baseline benchmarks match the filter")
+		return 2
+	}
+	newNs := map[string]float64{}
+	for _, b := range newR.Benchmarks {
+		if v, ok := b.Metrics["ns/op"]; ok {
+			newNs[key(b)] = v
+		}
+	}
+	failed, missing := 0, 0
+	for _, k := range baseline {
+		o := oldNs[k]
+		n, ok := newNs[k]
+		if !ok {
+			// A baseline benchmark that no longer runs is a gate hole,
+			// not a pass: renames/deletions must update the baseline
+			// deliberately.
+			fmt.Printf("%-50s %12.1f -> %12s\n", display(k), o, "MISSING")
+			missing++
+			continue
+		}
+		deltaPct := 0.0
+		if o > 0 {
+			deltaPct = (n - o) / o * 100
+		}
+		status := "ok"
+		if deltaPct > threshold {
+			status = "REGRESSION"
+			failed++
+		}
+		fmt.Printf("%-50s %12.1f -> %12.1f ns/op  %+7.1f%%  %s\n", display(k), o, n, deltaPct, status)
+	}
+	if failed > 0 || missing > 0 {
+		fmt.Printf("FAIL: %d of %d baseline benchmarks regressed more than %.0f%% in ns/op, %d missing from the new run\n",
+			failed, len(baseline), threshold, missing)
+		return 1
+	}
+	fmt.Printf("ok: %d benchmarks within %.0f%% of baseline\n", len(baseline), threshold)
+	return 0
+}

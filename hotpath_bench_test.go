@@ -1,0 +1,116 @@
+package repro
+
+// CPU hot-path benchmarks. Unlike benchWorkload — which drops the cache
+// to measure the paper's disk page accesses — these run with a buffer
+// pool large enough to hold the whole index, so after a warm-up pass
+// every page request is a hit and the numbers isolate pure CPU cost:
+// vbyte decoding, B-tree cursor walks, and candidate merging. They are
+// the before/after yardstick for the zero-allocation query path work
+// (README "CPU performance"); allocs/op comes from -benchmem or
+// b.ReportAllocs, and the decoded-cache hit rate is reported when the
+// engine exposes one.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/workload"
+	"repro/setcontain"
+)
+
+// hotPoolPages comfortably exceeds the ~0.5 MB index the default-scale
+// synthetic dataset builds, so steady-state queries never touch the pager.
+const hotPoolPages = 4096
+
+func hotFixture(b *testing.B, kind workload.Kind, size int, opts ...setcontain.Option) (*setcontain.Index, []workload.Query) {
+	b.Helper()
+	cfg := benchCfg()
+	d, err := dataset.GenerateSynthetic(cfg.SyntheticDefaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	all := append([]setcontain.Option{
+		setcontain.WithKind(setcontain.OIF),
+		setcontain.WithCachePages(hotPoolPages),
+	}, opts...)
+	idx, err := setcontain.New(setcontain.WrapDataset(d), all...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := workload.NewGenerator(d, 42).Queries(kind, size, 64)
+	if len(queries) == 0 {
+		b.Skip("no queries available at this scale")
+	}
+	return idx, queries
+}
+
+func runHotQuery(idx *setcontain.Index, dst []uint32, q workload.Query) ([]uint32, error) {
+	switch q.Kind {
+	case workload.Subset:
+		return idx.AppendSubset(dst, q.Items)
+	case workload.Equality:
+		return idx.AppendEquality(dst, q.Items)
+	default:
+		return idx.AppendSuperset(dst, q.Items)
+	}
+}
+
+func benchHotPath(b *testing.B, kind workload.Kind, size int, opts ...setcontain.Option) {
+	idx, queries := hotFixture(b, kind, size, opts...)
+	// Warm-up: one full pass loads every touched page, populates the
+	// decoded cache, and grows the answer buffer to its high-water mark,
+	// so the timed region measures steady state.
+	var dst []uint32
+	var err error
+	for _, q := range queries {
+		if dst, err = runHotQuery(idx, dst[:0], q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	before := idx.CacheStats()
+	dBefore := idx.DecodedCacheStats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dst, err = runHotQuery(idx, dst[:0], queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := idx.CacheStats()
+	b.ReportMetric(float64(st.PageReads-before.PageReads)/float64(b.N), "pages/op")
+	dNow := idx.DecodedCacheStats()
+	if visits := (dNow.Hits - dBefore.Hits) + (dNow.Misses - dBefore.Misses); visits > 0 {
+		b.ReportMetric(float64(dNow.Hits-dBefore.Hits)/float64(visits), "decoded-hit-rate")
+	}
+}
+
+// BenchmarkSubset is the tier-1 hot-path benchmark for subset queries on
+// the skewed synthetic workload at default scale.
+func BenchmarkSubset(b *testing.B) {
+	for _, size := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("qs%02d", size), func(b *testing.B) {
+			benchHotPath(b, workload.Subset, size)
+		})
+	}
+}
+
+// BenchmarkEquality is the warm-cache equality companion.
+func BenchmarkEquality(b *testing.B) {
+	for _, size := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("qs%02d", size), func(b *testing.B) {
+			benchHotPath(b, workload.Equality, size)
+		})
+	}
+}
+
+// BenchmarkSuperset is the tier-1 hot-path benchmark for superset queries
+// on the skewed synthetic workload at default scale.
+func BenchmarkSuperset(b *testing.B) {
+	for _, size := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("qs%02d", size), func(b *testing.B) {
+			benchHotPath(b, workload.Superset, size)
+		})
+	}
+}

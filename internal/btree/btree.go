@@ -57,9 +57,17 @@ type pathElem struct {
 	idx int // child index taken (internal nodes only)
 }
 
+// unpin releases a page pin from a defer, surfacing a pin-accounting
+// error through *err unless the caller already failed with one.
+func unpin(pool *storage.BufferPool, id storage.PageID, err *error) {
+	if e := pool.Put(id); e != nil && *err == nil {
+		*err = e
+	}
+}
+
 // New creates an empty tree in a fresh pager behind pool. The pool's pager
 // must be empty; page 0 becomes the tree's metadata page.
-func New(pool *storage.BufferPool) (*BTree, error) {
+func New(pool *storage.BufferPool) (t *BTree, err error) {
 	if pool.Pager().NumPages() != 0 {
 		return nil, errors.New("btree: New requires an empty pager")
 	}
@@ -67,7 +75,7 @@ func New(pool *storage.BufferPool) (*BTree, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer pool.Put(metaID)
+	defer unpin(pool, metaID, &err)
 	if metaID != metaPageID {
 		return nil, fmt.Errorf("btree: meta page allocated as %d", metaID)
 	}
@@ -77,7 +85,9 @@ func New(pool *storage.BufferPool) (*BTree, error) {
 	}
 	initNode(rootData, pageTypeLeaf)
 	pool.MarkDirty(rootID)
-	pool.Put(rootID)
+	if err := pool.Put(rootID); err != nil {
+		return nil, err
+	}
 
 	putU64(meta[offMetaMagic:], metaMagic)
 	putU64(meta[offMetaRoot:], uint64(int64(rootID)))
@@ -86,7 +96,7 @@ func New(pool *storage.BufferPool) (*BTree, error) {
 }
 
 // Open attaches to a tree previously created by New in pool's pager.
-func Open(pool *storage.BufferPool) (*BTree, error) {
+func Open(pool *storage.BufferPool) (t *BTree, err error) {
 	if pool.Pager().NumPages() == 0 {
 		return nil, errors.New("btree: Open on empty pager")
 	}
@@ -94,7 +104,7 @@ func Open(pool *storage.BufferPool) (*BTree, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer pool.Put(metaPageID)
+	defer unpin(pool, metaPageID, &err)
 	if getU64(meta[offMetaMagic:]) != metaMagic {
 		return nil, errors.New("btree: bad meta page magic")
 	}
@@ -160,8 +170,7 @@ func (t *BTree) writeRoot() error {
 	}
 	putU64(meta[offMetaRoot:], uint64(int64(t.root)))
 	t.pool.MarkDirty(metaPageID)
-	t.pool.Put(metaPageID)
-	return nil
+	return t.pool.Put(metaPageID)
 }
 
 // searchNode returns the index of the first cell whose key is >= probe
@@ -222,25 +231,27 @@ func (t *BTree) descend(probe []byte, cmp Compare) (node, error) {
 		}
 		idx := childIndex(n, probe, cmp)
 		next := childAt(n, idx)
-		t.pool.Put(id)
+		if err := t.pool.Put(id); err != nil {
+			return node{}, err
+		}
 		t.path = append(t.path, pathElem{id: id, idx: idx})
 		id = next
 	}
 }
 
 // Get returns a copy of the value stored under key, or ErrNotFound.
-func (t *BTree) Get(key []byte) ([]byte, error) {
+func (t *BTree) Get(key []byte) (out []byte, err error) {
 	leaf, err := t.descend(key, BytewiseCompare)
 	if err != nil {
 		return nil, err
 	}
-	defer t.pool.Put(leaf.id)
+	defer unpin(t.pool, leaf.id, &err)
 	idx, found := searchNode(leaf, key, BytewiseCompare)
 	if !found {
 		return nil, ErrNotFound
 	}
 	v := leaf.value(idx)
-	out := make([]byte, len(v))
+	out = make([]byte, len(v))
 	copy(out, v)
 	return out, nil
 }
@@ -265,12 +276,13 @@ func (t *BTree) Insert(key, value []byte) error {
 	if leaf.freeSpace() >= need {
 		leaf.insertLeafCell(idx, key, value)
 		t.pool.MarkDirty(leaf.id)
-		t.pool.Put(leaf.id)
-		return nil
+		return t.pool.Put(leaf.id)
 	}
 	// Split.
 	err = t.splitLeaf(leaf, idx, key, value)
-	t.pool.Put(leaf.id)
+	if e := t.pool.Put(leaf.id); err == nil {
+		err = e
+	}
 	return err
 }
 
@@ -333,7 +345,9 @@ func (t *BTree) splitLeaf(leaf node, idx int, key, value []byte) error {
 	sep := append([]byte(nil), entries[splitAt].k...)
 	t.pool.MarkDirty(leaf.id)
 	t.pool.MarkDirty(rightID)
-	t.pool.Put(rightID)
+	if err := t.pool.Put(rightID); err != nil {
+		return err
+	}
 	return t.insertSeparator(sep, rightID)
 }
 
@@ -352,7 +366,9 @@ func (t *BTree) insertSeparator(sep []byte, rightChild storage.PageID) error {
 			root.setAux(t.root)
 			root.insertInternalCell(0, sep, rightChild)
 			t.pool.MarkDirty(newRootID)
-			t.pool.Put(newRootID)
+			if err := t.pool.Put(newRootID); err != nil {
+				return err
+			}
 			t.root = newRootID
 			return t.writeRoot()
 		}
@@ -370,12 +386,13 @@ func (t *BTree) insertSeparator(sep []byte, rightChild storage.PageID) error {
 		if n.freeSpace() >= need {
 			n.insertInternalCell(idx, sep, rightChild)
 			t.pool.MarkDirty(n.id)
-			t.pool.Put(n.id)
-			return nil
+			return t.pool.Put(n.id)
 		}
 		var promote []byte
 		promote, rightChild, err = t.splitInternal(n, idx, sep, rightChild)
-		t.pool.Put(n.id)
+		if e := t.pool.Put(n.id); err == nil {
+			err = e
+		}
 		if err != nil {
 			return err
 		}
@@ -426,19 +443,21 @@ func (t *BTree) splitInternal(n node, idx int, sep []byte, child storage.PageID)
 	}
 	t.pool.MarkDirty(n.id)
 	t.pool.MarkDirty(rightID)
-	t.pool.Put(rightID)
+	if err := t.pool.Put(rightID); err != nil {
+		return nil, storage.InvalidPageID, err
+	}
 	return promote.k, rightID, nil
 }
 
 // Delete removes key if present. It reports whether the key existed.
 // Underfull nodes are not rebalanced (lazy deletion, as in several
 // production engines); cursors skip empty leaves.
-func (t *BTree) Delete(key []byte) (bool, error) {
+func (t *BTree) Delete(key []byte) (found bool, err error) {
 	leaf, err := t.descend(key, BytewiseCompare)
 	if err != nil {
 		return false, err
 	}
-	defer t.pool.Put(leaf.id)
+	defer unpin(t.pool, leaf.id, &err)
 	idx, found := searchNode(leaf, key, BytewiseCompare)
 	if !found {
 		return false, nil
@@ -479,7 +498,9 @@ func (t *BTree) Height() (int, error) {
 		if !leaf {
 			next = n.aux()
 		}
-		t.pool.Put(id)
+		if err := t.pool.Put(id); err != nil {
+			return 0, err
+		}
 		if leaf {
 			return h, nil
 		}
@@ -516,43 +537,51 @@ func (t *BTree) validateSubtree(id storage.PageID, lo, hi []byte) error {
 		return err
 	}
 	n := node{id: id, data: data}
-	if err := n.validateNode(t.pool.PageSize()); err != nil {
-		t.pool.Put(id)
-		return err
-	}
 	type childRange struct {
 		id     storage.PageID
 		lo, hi []byte
 	}
 	var children []childRange
-	num := n.numCells()
-	for i := 0; i < num; i++ {
-		k := n.key(i)
-		if lo != nil && bytes.Compare(k, lo) < 0 {
-			t.pool.Put(id)
-			return fmt.Errorf("btree: page %d key below lower bound", id)
+	// examine inspects the pinned node; the pin is released before the
+	// recursion below so deep trees cannot exhaust a small pool.
+	examine := func() error {
+		if err := n.validateNode(t.pool.PageSize()); err != nil {
+			return err
 		}
-		if hi != nil && bytes.Compare(k, hi) >= 0 {
-			t.pool.Put(id)
-			return fmt.Errorf("btree: page %d key above upper bound", id)
-		}
-	}
-	if !n.isLeaf() {
-		prev := lo
+		num := n.numCells()
 		for i := 0; i < num; i++ {
-			k := append([]byte(nil), n.key(i)...)
-			var cid storage.PageID
-			if i == 0 {
-				cid = n.aux()
-			} else {
-				cid = n.child(i - 1)
+			k := n.key(i)
+			if lo != nil && bytes.Compare(k, lo) < 0 {
+				return fmt.Errorf("btree: page %d key below lower bound", id)
 			}
-			children = append(children, childRange{cid, prev, k})
-			prev = k
+			if hi != nil && bytes.Compare(k, hi) >= 0 {
+				return fmt.Errorf("btree: page %d key above upper bound", id)
+			}
 		}
-		children = append(children, childRange{childAt(n, num), prev, hi})
+		if !n.isLeaf() {
+			prev := lo
+			for i := 0; i < num; i++ {
+				k := append([]byte(nil), n.key(i)...)
+				var cid storage.PageID
+				if i == 0 {
+					cid = n.aux()
+				} else {
+					cid = n.child(i - 1)
+				}
+				children = append(children, childRange{cid, prev, k})
+				prev = k
+			}
+			children = append(children, childRange{childAt(n, num), prev, hi})
+		}
+		return nil
 	}
-	t.pool.Put(id)
+	err = examine()
+	if e := t.pool.Put(id); err == nil {
+		err = e
+	}
+	if err != nil {
+		return err
+	}
 	for _, ch := range children {
 		if err := t.validateSubtree(ch.id, ch.lo, ch.hi); err != nil {
 			return err

@@ -34,7 +34,9 @@ func BulkLoad(pool *storage.BufferPool, next func() (key, value []byte, ok bool,
 	}
 	putU64(meta[offMetaMagic:], metaMagic)
 	pool.MarkDirty(metaID)
-	pool.Put(metaID)
+	if err := pool.Put(metaID); err != nil {
+		return nil, err
+	}
 
 	b := &bulkBuilder{
 		pool:   pool,
@@ -140,7 +142,9 @@ func (b *bulkBuilder) openLeaf() error {
 		}
 		node{id: b.prevLeaf, data: prev}.setAux(id)
 		b.pool.MarkDirty(b.prevLeaf)
-		b.pool.Put(b.prevLeaf)
+		if err := b.pool.Put(b.prevLeaf); err != nil {
+			return err
+		}
 	}
 	b.leafID, b.leaf, b.leafUsed = id, node{id: id, data: data}, 0
 	return nil
@@ -150,7 +154,9 @@ func (b *bulkBuilder) closeLeaf() error {
 	first := append([]byte(nil), b.leaf.key(0)...)
 	id := b.leafID
 	b.pool.MarkDirty(id)
-	b.pool.Put(id)
+	if err := b.pool.Put(id); err != nil {
+		return err
+	}
 	b.prevLeaf = id
 	b.leafID, b.leaf = 0, node{}
 	return b.push(0, childRef{firstKey: first, id: id})
@@ -199,7 +205,9 @@ func (b *bulkBuilder) flushLevel(l int) error {
 		nd.insertInternalCell(i, c.firstKey, c.id)
 	}
 	b.pool.MarkDirty(id)
-	b.pool.Put(id)
+	if err := b.pool.Put(id); err != nil {
+		return err
+	}
 	ref := childRef{firstKey: lv.firstKey, id: id}
 	lv.leftmost = storage.InvalidPageID
 	lv.firstKey = nil
@@ -220,7 +228,9 @@ func (b *bulkBuilder) finish() (storage.PageID, error) {
 			// Empty tree: the lone empty leaf is the root.
 			id := b.leafID
 			b.pool.MarkDirty(id)
-			b.pool.Put(id)
+			if err := b.pool.Put(id); err != nil {
+				return storage.InvalidPageID, err
+			}
 			return id, nil
 		}
 	}
@@ -232,7 +242,9 @@ func (b *bulkBuilder) finish() (storage.PageID, error) {
 		}
 		initNode(data, pageTypeLeaf)
 		b.pool.MarkDirty(id)
-		b.pool.Put(id)
+		if err := b.pool.Put(id); err != nil {
+			return storage.InvalidPageID, err
+		}
 		return id, nil
 	}
 	// Flush partial levels upward. A level holding a single child with no

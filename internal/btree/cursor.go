@@ -10,35 +10,57 @@ import (
 // important under the paper's minimal 32 KB cache). Each leaf is therefore
 // charged to the access statistics exactly once per visit.
 //
+// The copies land in a single flat arena that the cursor reuses from leaf
+// to leaf (and, through SeekCursor, from seek to seek), so a warmed-up
+// cursor walks the tree without allocating. Key and Value therefore
+// return slices owned by the cursor, valid only until the next
+// Next/Seek.
+//
 // A cursor is invalidated by writes to the tree; the indexes in this
 // repository never interleave writes with scans.
 type Cursor struct {
 	t       *BTree
-	keys    [][]byte
-	vals    [][]byte
+	arena   []byte   // flat copy of the current leaf's keys and values
+	keys    [][]byte // per-entry subslices of arena
+	vals    [][]byte // per-entry subslices of arena
 	idx     int
 	next    storage.PageID
 	valid   bool
 	exhaust bool
 }
 
-// Seek positions the cursor at the first entry whose key is >= probe under
-// cmp (pass BytewiseCompare for plain key seeks). After Seek, Valid
+// Seek positions a fresh cursor at the first entry whose key is >= probe
+// under cmp (pass BytewiseCompare for plain key seeks). After Seek, Valid
 // reports whether such an entry exists.
 func (t *BTree) Seek(probe []byte, cmp Compare) (*Cursor, error) {
-	leaf, err := t.descend(probe, cmp)
-	if err != nil {
+	c := &Cursor{}
+	if err := t.SeekCursor(c, probe, cmp); err != nil {
 		return nil, err
 	}
-	c := &Cursor{t: t}
-	idx, _ := searchNode(leaf, probe, cmp)
-	c.loadLeaf(leaf)
-	t.pool.Put(leaf.id)
-	c.idx = idx
-	return c, c.settle()
+	return c, nil
 }
 
-// First positions a cursor at the smallest entry.
+// SeekCursor is Seek into a caller-owned cursor: c is repositioned at the
+// first entry whose key is >= probe under cmp, reusing its leaf arena so
+// repeated seeks (the OIF's id-directed list probes) allocate nothing
+// once the arena has grown to the largest leaf visited. c may be the
+// zero value or a cursor previously used on any tree.
+func (t *BTree) SeekCursor(c *Cursor, probe []byte, cmp Compare) error {
+	leaf, err := t.descend(probe, cmp)
+	if err != nil {
+		return err
+	}
+	c.t = t
+	idx, _ := searchNode(leaf, probe, cmp)
+	c.loadLeaf(leaf)
+	if err := t.pool.Put(leaf.id); err != nil {
+		return err
+	}
+	c.idx = idx
+	return c.settle()
+}
+
+// First positions a fresh cursor at the smallest entry.
 func (t *BTree) First() (*Cursor, error) {
 	id := t.root
 	for {
@@ -50,25 +72,46 @@ func (t *BTree) First() (*Cursor, error) {
 		if n.isLeaf() {
 			c := &Cursor{t: t}
 			c.loadLeaf(n)
-			t.pool.Put(id)
+			if err := t.pool.Put(id); err != nil {
+				return nil, err
+			}
 			c.idx = 0
 			return c, c.settle()
 		}
 		next := n.aux()
-		t.pool.Put(id)
+		if err := t.pool.Put(id); err != nil {
+			return nil, err
+		}
 		id = next
 	}
 }
 
-// loadLeaf copies the pinned leaf's entries into the cursor.
+// loadLeaf copies the pinned leaf's entries into the cursor's arena. The
+// arena is sized once per leaf (a single grow when the leaf is larger
+// than any seen before), then filled with appends that cannot
+// reallocate, keeping the recorded subslices valid.
 func (c *Cursor) loadLeaf(n node) {
 	num := n.numCells()
+	total := 0
+	for i := 0; i < num; i++ {
+		total += len(n.key(i)) + len(n.value(i))
+	}
+	if cap(c.arena) < total {
+		c.arena = make([]byte, 0, total)
+	}
+	arena := c.arena[:0]
 	c.keys = c.keys[:0]
 	c.vals = c.vals[:0]
 	for i := 0; i < num; i++ {
-		c.keys = append(c.keys, append([]byte(nil), n.key(i)...))
-		c.vals = append(c.vals, append([]byte(nil), n.value(i)...))
+		k, v := n.key(i), n.value(i)
+		start := len(arena)
+		arena = append(arena, k...)
+		arena = append(arena, v...)
+		kEnd := start + len(k)
+		c.keys = append(c.keys, arena[start:kEnd:kEnd])
+		c.vals = append(c.vals, arena[kEnd:len(arena):len(arena)])
 	}
+	c.arena = arena
 	c.next = n.aux()
 	c.idx = 0
 	c.valid = num > 0
@@ -90,7 +133,9 @@ func (c *Cursor) settle() error {
 		}
 		n := node{id: c.next, data: data}
 		c.loadLeaf(n)
-		c.t.pool.Put(n.id)
+		if err := c.t.pool.Put(n.id); err != nil {
+			return err
+		}
 	}
 	c.valid = true
 	return nil

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"repro/internal/sequence"
+	"repro/internal/vbyte"
+)
+
+// decodedCache keeps recently used inverted-list blocks in decoded
+// (posting-slice) form, so hot lists skip the vbyte decode on every
+// visit. It is the memory-hierarchy twin of the paper's disk argument:
+// under a skewed item distribution a few very hot lists absorb most of
+// the query traffic, so keeping exactly those lists decoded converts the
+// per-visit decode cost into a one-time one.
+//
+// Entries are keyed by block identity (rank, lastID) — unique because a
+// list's blocks partition its record ids — and sized in postings.
+// Admission is skew-aware: when the index's item-frequency profile is
+// skewed (internal/stats fit, the same machinery the sharded planner
+// uses), an incoming block may only evict blocks from colder lists, so
+// the hottest lists' blocks, once decoded, stay decoded. Uniform
+// profiles degrade to plain LRU.
+//
+// The cache belongs to one Index (or Reader clone) and is as
+// concurrency-unsafe as its owner. Invalidation rides the existing
+// lifecycle: list blocks are immutable once built, Insert only grows the
+// memory delta, and MergeDelta swaps in a wholly rebuilt Index (fresh
+// cache included), so a cache can never serve stale postings.
+type decodedCache struct {
+	maxPostings int
+	curPostings int
+	weighted    bool // skew-aware admission (vs plain LRU)
+
+	entries map[uint64]*dcEntry
+	head    *dcEntry // most recently used
+	tail    *dcEntry // least recently used
+	free    *dcEntry // recycled entries, singly linked through next
+
+	stats DecodedCacheStats
+}
+
+// dcEntry is one cached decoded block.
+type dcEntry struct {
+	key      uint64
+	weight   int64 // postings in the source list (its "hotness")
+	postings []vbyte.Posting
+	prev     *dcEntry
+	next     *dcEntry
+}
+
+// DecodedCacheStats reports decoded-cache effectiveness. Hits+Misses
+// counts block visits on the query path; Admitted/Rejected/Evicted
+// describe the admission policy's behaviour.
+type DecodedCacheStats struct {
+	Hits     int64 // block visits served without decoding
+	Misses   int64 // block visits that decoded from page bytes
+	Admitted int64 // decoded blocks copied into the cache
+	Rejected int64 // decoded blocks denied admission (colder than residents)
+	Evicted  int64 // cached blocks displaced by hotter arrivals
+	Postings int   // postings currently cached
+	Capacity int   // maximum postings
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any visit.
+func (s DecodedCacheStats) HitRate() float64 {
+	if total := s.Hits + s.Misses; total > 0 {
+		return float64(s.Hits) / float64(total)
+	}
+	return 0
+}
+
+// Add returns s + t (entry-count fields are summed too, which is the
+// useful aggregate across shard readers).
+func (s DecodedCacheStats) Add(t DecodedCacheStats) DecodedCacheStats {
+	return DecodedCacheStats{
+		Hits:     s.Hits + t.Hits,
+		Misses:   s.Misses + t.Misses,
+		Admitted: s.Admitted + t.Admitted,
+		Rejected: s.Rejected + t.Rejected,
+		Evicted:  s.Evicted + t.Evicted,
+		Postings: s.Postings + t.Postings,
+		Capacity: s.Capacity + t.Capacity,
+	}
+}
+
+// evictScanDepth bounds how far from the LRU tail the admission scan
+// looks for a colder victim. A shallow scan keeps admission O(1) while
+// still letting a hot block displace a cold one that happens to sit just
+// above the tail.
+const evictScanDepth = 8
+
+// newDecodedCache returns a cache of at most maxPostings decoded
+// postings; weighted selects skew-aware admission.
+func newDecodedCache(maxPostings int, weighted bool) *decodedCache {
+	if maxPostings <= 0 {
+		return nil
+	}
+	return &decodedCache{
+		maxPostings: maxPostings,
+		weighted:    weighted,
+		entries:     make(map[uint64]*dcEntry),
+	}
+}
+
+// blockCacheKey is the block identity (rank, lastID): lastID is unique
+// within a rank's list because blocks partition the list's ids.
+func blockCacheKey(rank sequence.Rank, lastID uint32) uint64 {
+	return uint64(rank)<<32 | uint64(lastID)
+}
+
+// Stats snapshots the counters.
+func (c *decodedCache) Stats() DecodedCacheStats {
+	s := c.stats
+	s.Postings = c.curPostings
+	s.Capacity = c.maxPostings
+	return s
+}
+
+// get returns the decoded block for key, if cached. The returned slice
+// is owned by the cache: callers must treat it as read-only and must not
+// retain it across queries.
+func (c *decodedCache) get(key uint64) ([]vbyte.Posting, bool) {
+	if e, ok := c.entries[key]; ok {
+		c.stats.Hits++
+		c.touch(e)
+		return e.postings, true
+	}
+	c.stats.Misses++
+	return nil, false
+}
+
+// admit offers a freshly decoded block for caching. weight is the
+// hotness of the block's list (its total postings). On admission the
+// postings are copied into cache-owned storage (recycling evicted
+// entries' slices) and the cached copy is returned; a nil return means
+// the block was rejected and the caller keeps using its scratch slice.
+func (c *decodedCache) admit(key uint64, weight int64, ps []vbyte.Posting) []vbyte.Posting {
+	n := len(ps)
+	if n == 0 || n > c.maxPostings {
+		return nil
+	}
+	if e, ok := c.entries[key]; ok {
+		// Already resident (an earlier visit admitted it); serve that copy.
+		return e.postings
+	}
+	switch {
+	case c.curPostings+n <= c.maxPostings:
+		// Room to spare: no evictions needed.
+	case c.weighted:
+		// Plan the evictions before performing any: if the admissible
+		// victims (no hotter than the incomer) within the scan window
+		// cannot free enough room, the incomer is rejected WITHOUT
+		// disturbing the cache — evicting first and rejecting anyway
+		// would throw away cached blocks for no gain.
+		var victims [evictScanDepth]*dcEntry
+		nv, freed, scanned := 0, 0, 0
+		for e := c.tail; e != nil && scanned < evictScanDepth; e = e.prev {
+			scanned++
+			if e.weight > weight {
+				continue // hotter than the incomer: not admissible
+			}
+			victims[nv] = e
+			nv++
+			freed += len(e.postings)
+			if c.curPostings-freed+n <= c.maxPostings {
+				break
+			}
+		}
+		if c.curPostings-freed+n > c.maxPostings {
+			c.stats.Rejected++
+			return nil
+		}
+		for i := 0; i < nv; i++ {
+			c.evict(victims[i])
+		}
+	default:
+		// Plain LRU: every resident is admissible, so room can always
+		// be made (n fits the cache by the check above).
+		for c.curPostings+n > c.maxPostings {
+			c.evict(c.tail)
+		}
+	}
+	e := c.newEntry()
+	e.key = key
+	e.weight = weight
+	e.postings = append(e.postings[:0], ps...)
+	c.entries[key] = e
+	c.pushFront(e)
+	c.curPostings += n
+	c.stats.Admitted++
+	return e.postings
+}
+
+// evict removes e, recycling its posting storage for future admissions.
+func (c *decodedCache) evict(e *dcEntry) {
+	c.unlink(e)
+	delete(c.entries, e.key)
+	c.curPostings -= len(e.postings)
+	c.stats.Evicted++
+	e.prev = nil
+	e.next = c.free
+	c.free = e
+}
+
+// newEntry pops a recycled entry or allocates one.
+func (c *decodedCache) newEntry() *dcEntry {
+	if e := c.free; e != nil {
+		c.free = e.next
+		e.next = nil
+		return e
+	}
+	return &dcEntry{}
+}
+
+func (c *decodedCache) unlink(e *dcEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.head == e {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *decodedCache) pushFront(e *dcEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *decodedCache) touch(e *dcEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/vbyte"
+)
+
+func dcBlock(n int) []vbyte.Posting {
+	ps := make([]vbyte.Posting, n)
+	for i := range ps {
+		ps[i] = vbyte.Posting{ID: uint32(i + 1), Length: 2}
+	}
+	return ps
+}
+
+func TestDecodedCacheLRU(t *testing.T) {
+	c := newDecodedCache(100, false)
+	blk := dcBlock(50)
+	if c.admit(1, 0, blk) == nil || c.admit(2, 0, blk) == nil {
+		t.Fatal("admission into an empty cache rejected")
+	}
+	if _, ok := c.get(1); !ok {
+		t.Fatal("miss on resident block 1")
+	}
+	// Full cache, plain LRU: the least recently used (2) is displaced.
+	if c.admit(3, 0, blk) == nil {
+		t.Fatal("LRU admission rejected")
+	}
+	if _, ok := c.get(2); ok {
+		t.Fatal("LRU victim still resident")
+	}
+	if _, ok := c.get(1); !ok {
+		t.Fatal("recently used block evicted")
+	}
+	st := c.Stats()
+	if st.Admitted != 3 || st.Evicted != 1 || st.Postings != 100 || st.Capacity != 100 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDecodedCacheWeightedAdmission(t *testing.T) {
+	c := newDecodedCache(100, true)
+	blk := dcBlock(50)
+	if c.admit(1, 1000, blk) == nil || c.admit(2, 900, blk) == nil {
+		t.Fatal("admission into an empty cache rejected")
+	}
+	// Full: a block from a cold list must not displace hot residents.
+	if c.admit(3, 10, blk) != nil {
+		t.Fatal("cold block displaced a hot one")
+	}
+	if st := c.Stats(); st.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", st.Rejected)
+	}
+	// A hotter incomer displaces the coldest admissible resident (2).
+	if c.admit(4, 950, blk) == nil {
+		t.Fatal("hot block rejected")
+	}
+	if _, ok := c.get(2); ok {
+		t.Fatal("colder resident survived a hotter arrival")
+	}
+	if _, ok := c.get(1); !ok {
+		t.Fatal("hottest resident was displaced")
+	}
+	if _, ok := c.get(4); !ok {
+		t.Fatal("admitted hot block not resident")
+	}
+}
+
+func TestDecodedCacheNoWastedEvictions(t *testing.T) {
+	c := newDecodedCache(100, true)
+	if c.admit(1, 5, dcBlock(40)) == nil || c.admit(2, 100, dcBlock(60)) == nil {
+		t.Fatal("admission into an empty cache rejected")
+	}
+	// The incomer outweighs only entry 1 (40 postings) but needs 80:
+	// the plan cannot be satisfied, so the cache must stay untouched —
+	// evicting 1 and then rejecting anyway would be a pure loss.
+	if c.admit(3, 50, dcBlock(80)) != nil {
+		t.Fatal("infeasible admission succeeded")
+	}
+	if _, ok := c.get(1); !ok {
+		t.Fatal("resident evicted by an admission that was then rejected")
+	}
+	if _, ok := c.get(2); !ok {
+		t.Fatal("hot resident lost")
+	}
+	if st := c.Stats(); st.Evicted != 0 || st.Rejected != 1 || st.Postings != 100 {
+		t.Fatalf("stats %+v, want 0 evictions and 1 rejection", st)
+	}
+}
+
+func TestDecodedCacheOversizedBlock(t *testing.T) {
+	c := newDecodedCache(10, true)
+	if c.admit(1, 5, dcBlock(11)) != nil {
+		t.Fatal("block larger than the whole cache admitted")
+	}
+	if c.admit(2, 5, nil) != nil {
+		t.Fatal("empty block admitted")
+	}
+}
+
+func TestDecodedCacheRecyclesEntries(t *testing.T) {
+	c := newDecodedCache(64, false)
+	blk := dcBlock(64)
+	if c.admit(1, 0, blk) == nil {
+		t.Fatal("admission rejected")
+	}
+	// Steady churn: each admission evicts the lone resident and reuses
+	// its entry and posting storage — no allocations.
+	key := uint64(2)
+	allocs := testing.AllocsPerRun(100, func() {
+		if c.admit(key, 0, blk) == nil {
+			t.Fatal("churn admission rejected")
+		}
+		key++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state churn allocated %.1f times per run", allocs)
+	}
+}
+
+func TestDecodedCacheDoubleAdmitReturnsResident(t *testing.T) {
+	c := newDecodedCache(100, false)
+	blk := dcBlock(10)
+	first := c.admit(1, 0, blk)
+	if first == nil {
+		t.Fatal("admission rejected")
+	}
+	second := c.admit(1, 0, blk)
+	if &second[0] != &first[0] {
+		t.Fatal("re-admission did not return the resident copy")
+	}
+	if st := c.Stats(); st.Postings != 10 || st.Admitted != 1 {
+		t.Fatalf("stats %+v after double admit", st)
+	}
+}

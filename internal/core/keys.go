@@ -2,7 +2,6 @@ package core
 
 import (
 	"encoding/binary"
-	"fmt"
 
 	"repro/internal/btree"
 	"repro/internal/sequence"
@@ -29,49 +28,26 @@ func blockKey(rank sequence.Rank, tag []sequence.Rank, lastID uint32) []byte {
 	return binary.BigEndian.AppendUint32(k, lastID)
 }
 
-// parseKey splits a stored block key.
-func parseKey(k []byte) (rank sequence.Rank, tag []sequence.Rank, lastID uint32, err error) {
-	if len(k) < 9 { // rank + empty tag + id
-		return 0, nil, 0, fmt.Errorf("core: block key too short (%d bytes)", len(k))
-	}
-	rank = binary.BigEndian.Uint32(k)
-	tag, n, err := sequence.DecodeTag(k[4:])
-	if err != nil {
-		return 0, nil, 0, fmt.Errorf("core: block key tag: %w", err)
-	}
-	rest := k[4+n:]
-	if len(rest) != 4 {
-		return 0, nil, 0, fmt.Errorf("core: block key has %d trailing bytes, want 4", len(rest))
-	}
-	lastID = binary.BigEndian.Uint32(rest)
-	return rank, tag, lastID, nil
-}
-
 // keyRank reads the rank prefix without parsing the rest.
 func keyRank(k []byte) sequence.Rank { return binary.BigEndian.Uint32(k) }
 
 // keyLastID reads the record-id suffix without parsing the tag.
 func keyLastID(k []byte) uint32 { return binary.BigEndian.Uint32(k[len(k)-4:]) }
 
-// tagProbe builds a seek probe positioning at the first block of rank
-// whose tag is >= sf. It omits the id suffix: being a strict prefix of any
-// equal-tag key, it sorts before all of them.
-func tagProbe(rank sequence.Rank, sf []sequence.Rank) []byte {
-	p := make([]byte, 0, 4+sequence.TagLen(len(sf)))
-	p = binary.BigEndian.AppendUint32(p, rank)
-	return sequence.AppendTag(p, sf)
+// appendTagProbe appends a seek probe positioning at the first block of
+// rank whose tag is >= sf. It omits the id suffix: being a strict prefix
+// of any equal-tag key, it sorts before all of them. Probes are built
+// into the query arena's recycled buffer.
+func appendTagProbe(dst []byte, rank sequence.Rank, sf []sequence.Rank) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, rank)
+	return sequence.AppendTag(dst, sf)
 }
 
-// listStartProbe positions at the first block of rank's list. The empty
-// tag sorts before every real tag of the same rank.
-func listStartProbe(rank sequence.Rank) []byte { return tagProbe(rank, nil) }
-
-// idProbe is the probe payload for id-directed seeks: rank then record id.
-func idProbe(rank sequence.Rank, id uint32) []byte {
-	p := make([]byte, 8)
-	binary.BigEndian.PutUint32(p, rank)
-	binary.BigEndian.PutUint32(p[4:], id)
-	return p
+// appendIDProbe appends the probe payload for id-directed seeks: rank
+// then record id.
+func appendIDProbe(dst []byte, rank sequence.Rank, id uint32) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, rank)
+	return binary.BigEndian.AppendUint32(dst, id)
 }
 
 // idProbeCompare orders an idProbe against stored block keys by

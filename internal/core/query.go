@@ -12,24 +12,40 @@ import (
 // shrinking candidate set, finishing with the metadata table for the
 // query's smallest item. Results are returned as sorted original record
 // ids.
+//
+// Each predicate has an Append form that appends the answer to a
+// caller-provided slice — the zero-allocation entry point: with a warm
+// page cache and decoded-block cache, an Append query reuses the arena's
+// scratch buffers throughout and allocates nothing. The plain forms
+// allocate only the result slice they return.
 
 // Subset returns the ids of records t with qs ⊆ t.s (Algorithm 1).
 func (ix *Index) Subset(qs []dataset.Item) ([]uint32, error) {
+	return ix.AppendSubset(nil, qs)
+}
+
+// AppendSubset appends Subset's answer to dst and returns the extended
+// slice. Existing dst contents are preserved; only the appended region
+// is sorted.
+func (ix *Index) AppendSubset(dst []uint32, qs []dataset.Item) ([]uint32, error) {
+	ix.ensureRuntime()
 	q, err := ix.prepRanks(qs)
 	if err != nil {
 		return nil, err
 	}
+	ar := ix.arena
 	n := len(q)
 	if n == 0 {
 		// Every record contains the empty set.
-		all := make([]uint32, 0, ix.numRecords)
+		all := ar.aux[:0]
 		for id := uint32(1); id <= uint32(ix.numRecords); id++ {
 			all = append(all, id)
 		}
-		return ix.mapToOriginal(all, nil, predContainsAll), nil
+		ar.aux = all
+		return ix.mapToOriginal(dst, all, nil, predContainsAll), nil
 	}
 	if n == 1 {
-		ids, err := ix.collectWholeList(q[0])
+		ids, err := ix.collectWholeList(ar.aux[:0], q[0])
 		if err != nil {
 			return nil, err
 		}
@@ -39,27 +55,34 @@ func (ix *Index) Subset(qs []dataset.Item) ([]uint32, error) {
 		for id := reg.L; !reg.Empty() && id <= reg.U; id++ {
 			ids = append(ids, id)
 		}
-		return ix.mapToOriginal(ids, q, predContainsAll), nil
+		ar.aux = ids
+		return ix.mapToOriginal(dst, ids, q, predContainsAll), nil
 	}
 
 	// RoI_sub (Def. 2): lower bound is the full run of ranks up to the
 	// query's largest; upper is the query followed by the largest rank.
-	lower := consecutiveRanks(0, q[n-1])
+	// Both live in the arena's bound buffer: the lower bound is dead
+	// once the seek probe is built, so the buffer is reused for the
+	// upper bound that the scan loop consults.
+	bound := appendConsecutiveRanks(ar.bound[:0], 0, q[n-1])
+	ar.bound = bound
+	lc, err := ix.seekTag(q[n-1], bound)
+	if err != nil {
+		return nil, err
+	}
 	upper := q
 	if maxR := ix.ord.MaxRank(); q[n-1] != maxR {
-		upper = append(append([]sequence.Rank{}, q...), maxR)
+		bound = append(ar.bound[:0], q...)
+		bound = append(bound, maxR)
+		ar.bound = bound
+		upper = bound
 	}
 
 	// Candidates from the least frequent item's list, RoI-bounded. Records
 	// shorter than the query can never qualify.
-	var cands []uint32
-	lc, err := ix.seekTag(q[n-1], lower)
-	if err != nil {
-		return nil, err
-	}
-	var buf []vbyte.Posting
+	cands := ar.cands[:0]
 	for lc.valid {
-		buf, err = lc.postings(buf[:0])
+		buf, err := lc.postings()
 		if err != nil {
 			return nil, err
 		}
@@ -75,6 +98,7 @@ func (ix *Index) Subset(qs []dataset.Item) ([]uint32, error) {
 			return nil, err
 		}
 	}
+	ar.cands = cands
 
 	// Join against the remaining lists, least frequent first, probing by
 	// candidate id so only blocks inside [min-candidate, max-candidate]
@@ -86,14 +110,14 @@ func (ix *Index) Subset(qs []dataset.Item) ([]uint32, error) {
 		}
 	}
 	if len(cands) == 0 {
-		return ix.mapToOriginal(nil, q, predContainsAll), nil
+		return ix.mapToOriginal(dst, nil, q, predContainsAll), nil
 	}
 
 	// The smallest item: candidates inside its metadata region contain it
 	// by construction; candidates beyond the region's end cannot contain
 	// it (Theorem 1); the rest must appear in its (shortened) list.
 	reg := ix.meta.Regions[q[0]]
-	var confirmed, toCheck []uint32
+	confirmed, toCheck := ar.aux2[:0], ar.aux[:0]
 	for _, id := range cands {
 		switch {
 		case reg.ContainsID(id):
@@ -104,54 +128,65 @@ func (ix *Index) Subset(qs []dataset.Item) ([]uint32, error) {
 			toCheck = append(toCheck, id)
 		}
 	}
+	ar.aux2, ar.aux = confirmed, toCheck
 	checked, err := ix.filterByList(q[0], toCheck)
 	if err != nil {
 		return nil, err
 	}
 	// toCheck ids all precede region ids, so concatenation stays sorted.
 	result := append(checked, confirmed...)
-	return ix.mapToOriginal(result, q, predContainsAll), nil
+	ar.aux = result
+	return ix.mapToOriginal(dst, result, q, predContainsAll), nil
 }
 
 // Equality returns the ids of records t with t.s = qs (§4.2).
 func (ix *Index) Equality(qs []dataset.Item) ([]uint32, error) {
+	return ix.AppendEquality(nil, qs)
+}
+
+// AppendEquality appends Equality's answer to dst; see AppendSubset for
+// the append contract.
+func (ix *Index) AppendEquality(dst []uint32, qs []dataset.Item) ([]uint32, error) {
+	ix.ensureRuntime()
 	q, err := ix.prepRanks(qs)
 	if err != nil {
 		return nil, err
 	}
+	ar := ix.arena
 	n := len(q)
 	if n == 0 {
-		var ids []uint32
+		ids := ar.aux[:0]
 		for id := uint32(1); id <= ix.meta.EmptyUpper; id++ {
 			ids = append(ids, id)
 		}
-		return ix.mapToOriginal(ids, q, predEqual), nil
+		ar.aux = ids
+		return ix.mapToOriginal(dst, ids, q, predEqual), nil
 	}
 	reg := ix.meta.Regions[q[0]]
 	if reg.Empty() {
-		return ix.mapToOriginal(nil, q, predEqual), nil
+		return ix.mapToOriginal(dst, nil, q, predEqual), nil
 	}
 	if n == 1 {
 		// All answers are the cardinality-1 prefix of the region; the
 		// inverted list is never touched.
-		var ids []uint32
+		ids := ar.aux[:0]
 		for id := reg.L; id <= reg.U1; id++ {
 			ids = append(ids, id)
 		}
-		return ix.mapToOriginal(ids, q, predEqual), nil
+		ar.aux = ids
+		return ix.mapToOriginal(dst, ids, q, predEqual), nil
 	}
 
 	// RoI_eq is the single point qs (Def. 3). Scan the least frequent
 	// item's list from the first block with tag >= qs until the first
 	// block with tag > qs; duplicates of qs may span several blocks.
-	var cands []uint32
+	cands := ar.cands[:0]
 	lc, err := ix.seekTag(q[n-1], q)
 	if err != nil {
 		return nil, err
 	}
-	var buf []vbyte.Posting
 	for lc.valid {
-		buf, err = lc.postings(buf[:0])
+		buf, err := lc.postings()
 		if err != nil {
 			return nil, err
 		}
@@ -169,6 +204,7 @@ func (ix *Index) Equality(qs []dataset.Item) ([]uint32, error) {
 			return nil, err
 		}
 	}
+	ar.cands = cands
 	for i := n - 2; i >= 1 && len(cands) > 0; i-- {
 		cands, err = ix.filterByList(q[i], cands)
 		if err != nil {
@@ -177,30 +213,33 @@ func (ix *Index) Equality(qs []dataset.Item) ([]uint32, error) {
 	}
 	// No access to q[0]'s list: membership in its metadata region plus
 	// length n plus containment of q[1..n-1] pins the set to exactly qs.
-	return ix.mapToOriginal(cands, q, predEqual), nil
+	return ix.mapToOriginal(dst, cands, q, predEqual), nil
 }
 
 // Superset returns the ids of records t with t.s ⊆ qs (Algorithm 2).
 func (ix *Index) Superset(qs []dataset.Item) ([]uint32, error) {
+	return ix.AppendSuperset(nil, qs)
+}
+
+// AppendSuperset appends Superset's answer to dst; see AppendSubset for
+// the append contract.
+func (ix *Index) AppendSuperset(dst []uint32, qs []dataset.Item) ([]uint32, error) {
+	ix.ensureRuntime()
 	q, err := ix.prepRanks(qs)
 	if err != nil {
 		return nil, err
 	}
+	ar := ix.arena
 	n := len(q)
 
 	// Empty-set records satisfy every superset query.
-	var results []uint32
+	results := ar.aux[:0]
 	for id := uint32(1); id <= ix.meta.EmptyUpper; id++ {
 		results = append(results, id)
 	}
 
-	type scand struct {
-		id     uint32
-		length uint32
-		found  uint32
-	}
-	var cands []scand
-	var buf []vbyte.Posting
+	// Candidate rounds ping-pong between the arena's two scand buffers.
+	cands, spare := ar.scands[:0], ar.merged
 
 	for i := n - 1; i >= 0; i-- {
 		// Gather this item's RoI postings across its per-j regions
@@ -210,12 +249,13 @@ func (ix *Index) Superset(qs []dataset.Item) ([]uint32, error) {
 		// already covers the next region's start (Algorithm 2, lines
 		// 21-22: "checks if this RoI is not already included in the
 		// previously retrieved block").
-		var incoming []vbyte.Posting
+		incoming := ar.incoming[:0]
 		lastSeen := uint32(0)
 		var lc *listCursor
 		for j := 0; j < i; j++ {
 			lower := q[j : i+1]
-			upper := boundSet(q[j], q[i], q[n-1])
+			upper := appendBoundSet(ar.bound[:0], q[j], q[i], q[n-1])
+			ar.bound = upper
 			switch {
 			case lc == nil:
 				lc, err = ix.seekTag(q[i], lower)
@@ -233,7 +273,7 @@ func (ix *Index) Superset(qs []dataset.Item) ([]uint32, error) {
 				}
 			}
 			for lc.valid {
-				buf, err = lc.postings(buf[:0])
+				buf, err := lc.postings()
 				if err != nil {
 					return nil, err
 				}
@@ -255,12 +295,13 @@ func (ix *Index) Superset(qs []dataset.Item) ([]uint32, error) {
 				}
 			}
 		}
+		ar.incoming = incoming
 
 		// Merge incoming postings into the candidate set. A new record is
 		// admitted only if its remaining unexamined items (q[0..i-1] plus
 		// this one) can still cover its whole set: length <= i+1
 		// (Algorithm 2, line 14).
-		merged := make([]scand, 0, len(cands)+len(incoming))
+		merged := spare[:0]
 		a, b := 0, 0
 		for a < len(cands) || b < len(incoming) {
 			switch {
@@ -280,7 +321,7 @@ func (ix *Index) Superset(qs []dataset.Item) ([]uint32, error) {
 				b++
 			}
 		}
-		cands = merged
+		cands, spare = merged, cands
 
 		// The item's final region lives in the metadata table, not the
 		// list (Def. 4's last range; Algorithm 2 lines 22-24).
@@ -314,62 +355,62 @@ func (ix *Index) Superset(qs []dataset.Item) ([]uint32, error) {
 		}
 		cands = kept
 	}
-	return ix.mapToOriginal(results, q, predSubsetOf), nil
+	ar.scands, ar.merged = cands, spare
+	ar.aux = results
+	return ix.mapToOriginal(dst, results, q, predSubsetOf), nil
 }
 
-// collectWholeList returns every posting id in rank's list, ascending.
-func (ix *Index) collectWholeList(rank sequence.Rank) ([]uint32, error) {
+// collectWholeList appends every posting id in rank's list to dst,
+// ascending.
+func (ix *Index) collectWholeList(dst []uint32, rank sequence.Rank) ([]uint32, error) {
 	lc, err := ix.seekTag(rank, nil)
 	if err != nil {
 		return nil, err
 	}
-	var ids []uint32
-	var buf []vbyte.Posting
 	for lc.valid {
-		buf, err = lc.postings(buf[:0])
+		buf, err := lc.postings()
 		if err != nil {
 			return nil, err
 		}
 		for _, p := range buf {
-			ids = append(ids, p.ID)
+			dst = append(dst, p.ID)
 		}
 		if err := lc.next(); err != nil {
 			return nil, err
 		}
 	}
-	return ids, nil
+	return dst, nil
 }
 
 // filterByList keeps the candidates (sorted new ids) that appear in
 // rank's inverted list, probing the B-tree by candidate id so only blocks
 // between the smallest and largest candidate are read — the progressive
-// range restriction of Algorithm 1, line 15.
+// range restriction of Algorithm 1, line 15. The filter is in place:
+// the returned slice reuses cands' storage.
 func (ix *Index) filterByList(rank sequence.Rank, cands []uint32) ([]uint32, error) {
 	if len(cands) == 0 {
-		return nil, nil
+		// Keep cands' backing storage (it is arena scratch the caller
+		// appends to next).
+		return cands, nil
 	}
 	out := cands[:0]
-	var buf []vbyte.Posting
 	lc, err := ix.seekID(rank, cands[0])
 	if err != nil {
 		return nil, err
 	}
 	i := 0
 	for i < len(cands) && lc.valid {
-		buf, err = lc.postings(buf[:0])
+		buf, err := lc.postings()
 		if err != nil {
 			return nil, err
 		}
-		j := 0
-		for i < len(cands) && cands[i] <= lc.lastID {
-			for j < len(buf) && buf[j].ID < cands[i] {
-				j++
-			}
-			if j < len(buf) && buf[j].ID == cands[i] {
-				out = append(out, cands[i])
-			}
-			i++
+		// The candidates this block can cover: ids up to the block's last.
+		hi := i
+		for hi < len(cands) && cands[hi] <= lc.lastID {
+			hi++
 		}
+		out = matchBlock(buf, cands[i:hi], out)
+		i = hi
 		if i >= len(cands) {
 			break
 		}
@@ -387,4 +428,65 @@ func (ix *Index) filterByList(rank sequence.Rank, cands []uint32) ([]uint32, err
 		}
 	}
 	return out, nil
+}
+
+// Crossover for matchBlock's probe strategy: binary search wins once the
+// block is much larger than the candidate set falling inside it. A
+// linear merge costs ~m+k posting visits (m block postings, k
+// candidates), per-candidate binary search ~k*log2(m); with log2(m) <=
+// 9 for the block sizes in use (<= 512 postings), binary search is
+// profitable from m >~ 8k, with a small constant floor so tiny blocks
+// never bother. BenchmarkMatchBlock in query_bench_test.go sweeps m/k
+// ratios to justify the constants.
+const (
+	matchBinaryFloor   = 32 // below this block size, always merge linearly
+	matchBinaryPerCand = 8  // binary search when m > floor + 8*k
+)
+
+// matchBlock appends the members of cands present in buf to out. cands
+// must be sorted ascending and lie within the block's id range; buf is a
+// decoded block (ids ascending).
+func matchBlock(buf []vbyte.Posting, cands []uint32, out []uint32) []uint32 {
+	if len(buf) >= matchBinaryFloor && len(buf) > matchBinaryFloor+matchBinaryPerCand*len(cands) {
+		return matchBlockBinary(buf, cands, out)
+	}
+	return matchBlockLinear(buf, cands, out)
+}
+
+// matchBlockLinear advances a shared block offset across the candidates
+// — O(m + k).
+func matchBlockLinear(buf []vbyte.Posting, cands []uint32, out []uint32) []uint32 {
+	j := 0
+	for _, c := range cands {
+		for j < len(buf) && buf[j].ID < c {
+			j++
+		}
+		if j < len(buf) && buf[j].ID == c {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// matchBlockBinary binary-searches each candidate within the block's
+// remaining suffix — O(k log m), profitable when the block dwarfs the
+// candidate set.
+func matchBlockBinary(buf []vbyte.Posting, cands []uint32, out []uint32) []uint32 {
+	j := 0
+	for _, c := range cands {
+		lo, hi := j, len(buf)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if buf[mid].ID < c {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		j = lo
+		if j < len(buf) && buf[j].ID == c {
+			out = append(out, c)
+		}
+	}
+	return out
 }

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vbyte"
+)
+
+// makeMatchFixture builds a decoded block of m postings and k sorted
+// candidates, half of which are members.
+func makeMatchFixture(m, k int, seed int64) ([]vbyte.Posting, []uint32) {
+	rng := rand.New(rand.NewSource(seed))
+	buf := make([]vbyte.Posting, m)
+	id := uint32(0)
+	for i := range buf {
+		id += uint32(1 + rng.Intn(8))
+		buf[i] = vbyte.Posting{ID: id, Length: 4}
+	}
+	cands := make([]uint32, 0, k)
+	for i := 0; i < k; i++ {
+		if i%2 == 0 {
+			cands = append(cands, buf[rng.Intn(m)].ID)
+		} else {
+			cands = append(cands, uint32(1+rng.Intn(int(id))))
+		}
+	}
+	// Sort + dedup to satisfy the candidate contract.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j] < cands[j-1]; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	out := cands[:0]
+	for i, c := range cands {
+		if i == 0 || c != out[len(out)-1] {
+			out = append(out, c)
+		}
+	}
+	return buf, out
+}
+
+// TestMatchBlockStrategiesAgree pins the two probe strategies (and the
+// crossover dispatcher) to identical results.
+func TestMatchBlockStrategiesAgree(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		for _, mk := range [][2]int{{8, 3}, {64, 64}, {128, 2}, {512, 1}, {512, 40}, {512, 511}} {
+			buf, cands := makeMatchFixture(mk[0], mk[1], seed)
+			lin := matchBlockLinear(buf, cands, nil)
+			bin := matchBlockBinary(buf, cands, nil)
+			dis := matchBlock(buf, cands, nil)
+			if len(lin) != len(bin) || len(lin) != len(dis) {
+				t.Fatalf("m=%d k=%d seed=%d: linear %d, binary %d, dispatch %d matches",
+					mk[0], mk[1], seed, len(lin), len(bin), len(dis))
+			}
+			for i := range lin {
+				if lin[i] != bin[i] || lin[i] != dis[i] {
+					t.Fatalf("m=%d k=%d seed=%d: divergence at %d", mk[0], mk[1], seed, i)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkMatchBlock justifies the crossover constants: sweep the
+// block-size / candidate-count ratio and compare the linear merge
+// against per-candidate binary search. Binary search wins decisively
+// once m >> k (the regime filterByList's id-directed seeks produce on
+// very hot lists); the linear merge stays ahead for dense candidate
+// sets. The dispatcher's threshold (matchBinaryFloor + matchBinaryPerCand*k)
+// sits between the two regimes.
+func BenchmarkMatchBlock(b *testing.B) {
+	out := make([]uint32, 0, 1024)
+	for _, mk := range [][2]int{{64, 32}, {128, 16}, {256, 4}, {512, 2}, {512, 16}, {512, 128}} {
+		buf, cands := makeMatchFixture(mk[0], mk[1], 1)
+		name := fmt.Sprintf("m%03d_k%03d", mk[0], mk[1])
+		b.Run(name+"/linear", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out = matchBlockLinear(buf, cands, out[:0])
+			}
+		})
+		b.Run(name+"/binary", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out = matchBlockBinary(buf, cands, out[:0])
+			}
+		})
+	}
+}

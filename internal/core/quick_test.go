@@ -159,16 +159,20 @@ func TestQuickRoIInvariant(t *testing.T) {
 		if err != nil {
 			return false
 		}
+		ix.ensureRuntime()
 		q, err := ix.prepRanks(c.query())
 		if err != nil || len(q) == 0 {
 			return true
 		}
+		// prepRanks returns an arena-owned slice that the Subset call
+		// below will reuse; copy it before querying.
+		q = append([]uint32(nil), q...)
 		ids, err := ix.Subset(c.query())
 		if err != nil {
 			return false
 		}
 		n := len(q)
-		lower := consecutiveRanks(0, q[n-1])
+		lower := appendConsecutiveRanks(nil, 0, q[n-1])
 		upper := q
 		if maxR := ix.ord.MaxRank(); q[n-1] != maxR {
 			upper = append(append([]uint32{}, q...), maxR)

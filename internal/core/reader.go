@@ -6,10 +6,10 @@ import (
 
 // NewReader returns an independent query handle over the same index
 // pages. An Index is not safe for concurrent use because queries mutate
-// the buffer pool (frames, LRU order, statistics); the pages themselves
-// are immutable once built, so a reader with its own pool of the given
-// capacity can run queries in parallel with the parent and with other
-// readers.
+// the buffer pool (frames, LRU order, statistics) and the query arena;
+// the pages themselves are immutable once built, so a reader with its
+// own pool of the given capacity can run queries in parallel with the
+// parent and with other readers.
 //
 // The reader shares the parent's delta snapshot: inserts made on the
 // parent after NewReader are invisible to the reader (create a fresh
@@ -25,6 +25,12 @@ func (ix *Index) NewReader(poolPages int) (*Reader, error) {
 	clone.tree = view
 	// Freeze the delta at its current extent; the parent appends only.
 	clone.delta = ix.delta[:len(ix.delta):len(ix.delta)]
+	// The clone must not share mutable query state with the parent:
+	// drop the copied arena and decoded-cache pointers so ensureRuntime
+	// attaches fresh, reader-private instances (sized by the same
+	// options; note every reader therefore carries its own decoded
+	// cache, so budget DecodedCachePostings per reader).
+	clone.arena, clone.dcache = nil, nil
 	return &Reader{ix: &clone, pool: pool}, nil
 }
 
@@ -44,6 +50,22 @@ func (r *Reader) Equality(qs []uint32) ([]uint32, error) { return r.ix.Equality(
 // Superset answers like Index.Superset.
 func (r *Reader) Superset(qs []uint32) ([]uint32, error) { return r.ix.Superset(qs) }
 
+// AppendSubset answers like Index.AppendSubset — the reader's
+// zero-allocation entry point.
+func (r *Reader) AppendSubset(dst []uint32, qs []uint32) ([]uint32, error) {
+	return r.ix.AppendSubset(dst, qs)
+}
+
+// AppendEquality answers like Index.AppendEquality.
+func (r *Reader) AppendEquality(dst []uint32, qs []uint32) ([]uint32, error) {
+	return r.ix.AppendEquality(dst, qs)
+}
+
+// AppendSuperset answers like Index.AppendSuperset.
+func (r *Reader) AppendSuperset(dst []uint32, qs []uint32) ([]uint32, error) {
+	return r.ix.AppendSuperset(dst, qs)
+}
+
 // Stats returns this reader's private access statistics.
 func (r *Reader) Stats() storage.AccessStats { return r.pool.Stats() }
 
@@ -52,3 +74,7 @@ func (r *Reader) ResetStats() { r.pool.ResetStats() }
 
 // Pool returns the reader's private buffer pool.
 func (r *Reader) Pool() *storage.BufferPool { return r.pool }
+
+// DecodedStats reports this reader's private decoded-block cache
+// statistics (zeroes when the cache is disabled).
+func (r *Reader) DecodedStats() DecodedCacheStats { return r.ix.DecodedStats() }

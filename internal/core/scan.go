@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/btree"
 	"repro/internal/sequence"
 	"repro/internal/vbyte"
@@ -9,13 +11,19 @@ import (
 // listCursor walks the blocks of one rank's inverted list in id order,
 // decoding keys lazily. It becomes invalid when the underlying B-tree
 // cursor leaves the rank's key range.
+//
+// Cursors live in the query arena: only one is live at a time on a query
+// path (candidate gathering finishes before the filter phase, and
+// filters walk one list at a time), so seekTag/seekID recycle the same
+// cursor — and through it the B-tree cursor's leaf arena and the tag
+// decode buffer — across every seek of a query and across queries.
 type listCursor struct {
 	ix    *Index
 	rank  sequence.Rank
-	cur   *btree.Cursor
+	cur   btree.Cursor
 	valid bool
 
-	tag    []sequence.Rank
+	tag    []sequence.Rank // decoded into a reusable buffer
 	lastID uint32
 }
 
@@ -24,42 +32,52 @@ type listCursor struct {
 // prefix truncation preserves <=, so the seek lands at or before the true
 // lower bound (see Options.TagPrefix).
 func (ix *Index) seekTag(rank sequence.Rank, sf []sequence.Rank) (*listCursor, error) {
-	cur, err := ix.tree.Seek(tagProbe(rank, ix.truncTag(sf)), btree.BytewiseCompare)
-	if err != nil {
+	ix.arena.probe = appendTagProbe(ix.arena.probe[:0], rank, ix.truncTag(sf))
+	lc := &ix.arena.lc
+	lc.ix, lc.rank = ix, rank
+	if err := ix.tree.SeekCursor(&lc.cur, ix.arena.probe, btree.BytewiseCompare); err != nil {
 		return nil, err
 	}
-	lc := &listCursor{ix: ix, rank: rank, cur: cur}
 	return lc, lc.load()
 }
 
 // seekID positions at the first block of rank whose lastID >= id, i.e.
 // the block that would contain record id.
 func (ix *Index) seekID(rank sequence.Rank, id uint32) (*listCursor, error) {
-	cur, err := ix.tree.Seek(idProbe(rank, id), idProbeCompare)
-	if err != nil {
+	ix.arena.probe = appendIDProbe(ix.arena.probe[:0], rank, id)
+	lc := &ix.arena.lc
+	lc.ix, lc.rank = ix, rank
+	if err := ix.tree.SeekCursor(&lc.cur, ix.arena.probe, idProbeCompare); err != nil {
 		return nil, err
 	}
-	lc := &listCursor{ix: ix, rank: rank, cur: cur}
 	return lc, lc.load()
 }
 
 // load parses the current B-tree entry, invalidating the cursor if it has
-// moved past this rank's list.
+// moved past this rank's list. The tag is decoded into the cursor's
+// reusable buffer.
 func (lc *listCursor) load() error {
 	if !lc.cur.Valid() {
 		lc.valid = false
 		return nil
 	}
-	rank, tag, lastID, err := parseKey(lc.cur.Key())
-	if err != nil {
-		return err
+	k := lc.cur.Key()
+	if len(k) < 9 { // rank + empty tag + id
+		return fmt.Errorf("core: block key too short (%d bytes)", len(k))
 	}
-	if rank != lc.rank {
+	if keyRank(k) != lc.rank {
 		lc.valid = false
 		return nil
 	}
+	tag, n, err := sequence.AppendDecodedTag(lc.tag[:0], k[4:])
+	if err != nil {
+		return fmt.Errorf("core: block key tag: %w", err)
+	}
+	if len(k)-(4+n) != 4 {
+		return fmt.Errorf("core: block key has %d trailing bytes, want 4", len(k)-(4+n))
+	}
 	lc.tag = tag
-	lc.lastID = lastID
+	lc.lastID = keyLastID(k)
 	lc.valid = true
 	return nil
 }
@@ -75,9 +93,34 @@ func (lc *listCursor) next() error {
 	return lc.load()
 }
 
-// postings decodes the current block into out.
-func (lc *listCursor) postings(out []vbyte.Posting) ([]vbyte.Posting, error) {
-	return vbyte.DecodePostings(lc.cur.Value(), 0, out)
+// postings returns the current block decoded. With a decoded cache the
+// block is served from (or admitted to) it; otherwise it is decoded into
+// the arena's scratch slice. Either way the returned slice is owned by
+// the index runtime: callers must treat it as read-only and must not
+// hold it across a postings or seek call.
+func (lc *listCursor) postings() ([]vbyte.Posting, error) {
+	ix := lc.ix
+	if c := ix.dcache; c != nil {
+		key := blockCacheKey(lc.rank, lc.lastID)
+		if ps, ok := c.get(key); ok {
+			return ps, nil
+		}
+		ps, err := vbyte.DecodePostingsInto(lc.cur.Value(), 0, ix.arena.decode[:0])
+		if err != nil {
+			return nil, err
+		}
+		ix.arena.decode = ps
+		if cached := c.admit(key, ix.listPostings[lc.rank], ps); cached != nil {
+			return cached, nil
+		}
+		return ps, nil
+	}
+	ps, err := vbyte.DecodePostingsInto(lc.cur.Value(), 0, ix.arena.decode[:0])
+	if err != nil {
+		return nil, err
+	}
+	ix.arena.decode = ps
+	return ps, nil
 }
 
 // pastUpper reports whether the current block's tag is strictly beyond the
@@ -91,28 +134,27 @@ func (lc *listCursor) pastUpper(upper []sequence.Rank) bool {
 	return sequence.Compare(lc.tag, lc.ix.truncTag(upper)) > 0
 }
 
-// consecutiveRanks returns the sequence (from, from+1, ..., to).
-func consecutiveRanks(from, to sequence.Rank) []sequence.Rank {
-	out := make([]sequence.Rank, 0, to-from+1)
+// appendConsecutiveRanks appends the sequence (from, from+1, ..., to).
+func appendConsecutiveRanks(dst []sequence.Rank, from, to sequence.Rank) []sequence.Rank {
 	for r := from; ; r++ {
-		out = append(out, r)
+		dst = append(dst, r)
 		if r == to {
 			break
 		}
 	}
-	return out
+	return dst
 }
 
-// boundSet returns the sorted set {a, b, c} with duplicates collapsed —
-// used for RoI upper bounds like (q_j, q_i, q_n) whose components may
-// coincide.
-func boundSet(a, b, c sequence.Rank) []sequence.Rank {
-	out := []sequence.Rank{a}
+// appendBoundSet appends the sorted set {a, b, c} with duplicates
+// collapsed — used for RoI upper bounds like (q_j, q_i, q_n) whose
+// components may coincide.
+func appendBoundSet(dst []sequence.Rank, a, b, c sequence.Rank) []sequence.Rank {
+	dst = append(dst, a)
 	if b != a {
-		out = append(out, b)
+		dst = append(dst, b)
 	}
-	if c != out[len(out)-1] {
-		out = append(out, c)
+	if c != dst[len(dst)-1] {
+		dst = append(dst, c)
 	}
-	return out
+	return dst
 }

@@ -183,7 +183,14 @@ func AppendTag(dst []byte, sf []Rank) []byte {
 // DecodeTag parses one tag from the front of b, returning the sequence and
 // the number of bytes consumed (terminator included).
 func DecodeTag(b []byte) ([]Rank, int, error) {
-	var sf []Rank
+	return AppendDecodedTag(nil, b)
+}
+
+// AppendDecodedTag is DecodeTag into a reusable slice: the decoded ranks
+// are appended to dst (pass a recycled buffer's [:0] to decode without
+// allocating). It is the form the OIF's block cursor uses on every
+// block visit.
+func AppendDecodedTag(dst []Rank, b []byte) ([]Rank, int, error) {
 	pos := 0
 	for {
 		if pos >= len(b) {
@@ -191,12 +198,12 @@ func DecodeTag(b []byte) ([]Rank, int, error) {
 		}
 		switch b[pos] {
 		case tagEnd:
-			return sf, pos + 1, nil
+			return dst, pos + 1, nil
 		case tagElem:
 			if pos+TagElemWidth > len(b) {
 				return nil, 0, fmt.Errorf("sequence: truncated tag element")
 			}
-			sf = append(sf, binary.BigEndian.Uint32(b[pos+1:]))
+			dst = append(dst, binary.BigEndian.Uint32(b[pos+1:]))
 			pos += TagElemWidth
 		default:
 			return nil, 0, fmt.Errorf("sequence: bad tag byte 0x%02x", b[pos])

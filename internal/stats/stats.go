@@ -57,6 +57,18 @@ func (c *Collector) Add(set []uint32) {
 // NumRecords returns how many records have been added.
 func (c *Collector) NumRecords() int { return c.records }
 
+// ProfileOfSupports summarises an already-counted per-item support table
+// (index = item id, value = support). Record-level fields (NumRecords,
+// cardinalities, TotalPostings) are zero; the distributional fields —
+// Distinct, MaxFreq, TopK, Theta — are filled, which is all that Skewed
+// and Plan consult. The OIF's decoded-block cache profiles its per-list
+// posting counts this way to decide whether skew-weighted admission
+// pays.
+func ProfileOfSupports(support []int64, k int) Profile {
+	c := Collector{support: support}
+	return c.Profile(k)
+}
+
 // Profile summarises an item-frequency distribution.
 type Profile struct {
 	NumRecords     int

@@ -83,6 +83,12 @@ type BufferPool struct {
 	stats     AccessStats
 	lastMiss  PageID
 	interrupt func() error
+
+	// free recycles evicted frames (and their page buffers) so a steady
+	// stream of misses re-reads into existing memory instead of calling
+	// make([]byte, pageSize) per miss — the frame free-list of the
+	// zero-allocation query path. Bounded by capacity.
+	free []*frame
 }
 
 // DefaultPoolPages mirrors the paper's minimum Berkeley DB cache: 32 KB,
@@ -124,7 +130,8 @@ func (bp *BufferPool) ResetStats() {
 }
 
 // DropAll flushes dirty pages and empties the cache so the next accesses
-// start cold. It returns the first flush error encountered.
+// start cold. It returns the first flush error encountered. The dropped
+// frames' buffers are recycled for future misses.
 func (bp *BufferPool) DropAll() error {
 	if err := bp.Flush(); err != nil {
 		return err
@@ -134,9 +141,39 @@ func (bp *BufferPool) DropAll() error {
 			return fmt.Errorf("storage: DropAll with pinned page %d", id)
 		}
 	}
+	for _, f := range bp.frames {
+		bp.recycle(f)
+	}
 	bp.frames = make(map[PageID]*frame, bp.capacity)
 	bp.lruHead, bp.lruTail = nil, nil
 	return nil
+}
+
+// recycle returns an unlinked frame to the free-list (bounded by the
+// pool capacity; beyond that the frame is left to the garbage collector).
+func (bp *BufferPool) recycle(f *frame) {
+	if len(bp.free) >= bp.capacity {
+		return
+	}
+	f.id = InvalidPageID
+	f.dirty = false
+	f.pins = 0
+	f.prev, f.next = nil, nil
+	bp.free = append(bp.free, f)
+}
+
+// newFrame returns a frame for page id, reusing a recycled buffer when
+// one is available. The data contents are unspecified; callers overwrite
+// them (ReadPage) or zero them (Allocate).
+func (bp *BufferPool) newFrame(id PageID) *frame {
+	if n := len(bp.free); n > 0 {
+		f := bp.free[n-1]
+		bp.free[n-1] = nil
+		bp.free = bp.free[:n-1]
+		f.id = id
+		return f
+	}
+	return &frame{id: id, data: make([]byte, bp.pager.PageSize())}
 }
 
 // lruUnlink removes f from the LRU list.
@@ -191,6 +228,7 @@ func (bp *BufferPool) evictOne() error {
 		}
 		bp.lruUnlink(f)
 		delete(bp.frames, f.id)
+		bp.recycle(f)
 		return nil
 	}
 	return fmt.Errorf("storage: buffer pool of %d pages exhausted by pins", bp.capacity)
@@ -205,7 +243,11 @@ func (bp *BufferPool) evictOne() error {
 // be changed while no request is in flight.
 func (bp *BufferPool) SetInterrupt(fn func() error) { bp.interrupt = fn }
 
-// fetch returns the frame for id, loading it on a miss.
+// fetch returns the frame for id, loading it on a miss. Statistics are
+// classified only after the pager read succeeds: a failed ReadPage is
+// not a disk page access, so it must neither count as a miss nor advance
+// the sequentiality tracker (a retry after a transient fault would
+// otherwise be misclassified against the failed position).
 func (bp *BufferPool) fetch(id PageID) (*frame, error) {
 	if bp.interrupt != nil {
 		if err := bp.interrupt(); err != nil {
@@ -216,6 +258,16 @@ func (bp *BufferPool) fetch(id PageID) (*frame, error) {
 		bp.stats.Hits++
 		bp.touch(f)
 		return f, nil
+	}
+	for len(bp.frames) >= bp.capacity {
+		if err := bp.evictOne(); err != nil {
+			return nil, err
+		}
+	}
+	f := bp.newFrame(id)
+	if err := bp.pager.ReadPage(id, f.data); err != nil {
+		bp.recycle(f)
+		return nil, err
 	}
 	bp.stats.Misses++
 	switch delta := int64(id) - int64(bp.lastMiss); {
@@ -229,15 +281,6 @@ func (bp *BufferPool) fetch(id PageID) (*frame, error) {
 		bp.stats.RandMisses++
 	}
 	bp.lastMiss = id
-	for len(bp.frames) >= bp.capacity {
-		if err := bp.evictOne(); err != nil {
-			return nil, err
-		}
-	}
-	f := &frame{id: id, data: make([]byte, bp.pager.PageSize())}
-	if err := bp.pager.ReadPage(id, f.data); err != nil {
-		return nil, err
-	}
 	bp.frames[id] = f
 	bp.lruPushFront(f)
 	return f, nil
@@ -256,10 +299,20 @@ func (bp *BufferPool) Get(id PageID) ([]byte, error) {
 }
 
 // Put unpins page id. Every Get must be paired with exactly one Put.
-func (bp *BufferPool) Put(id PageID) {
-	if f, ok := bp.frames[id]; ok && f.pins > 0 {
-		f.pins--
+// A Put of a page that is not resident, or resident but not pinned,
+// reports an accounting error instead of silently doing nothing: both
+// indicate a pin-balance bug in the caller (pinned pages are exempt from
+// eviction, so a correctly pinned page is always resident).
+func (bp *BufferPool) Put(id PageID) error {
+	f, ok := bp.frames[id]
+	if !ok {
+		return fmt.Errorf("storage: Put of non-resident page %d", id)
 	}
+	if f.pins == 0 {
+		return fmt.Errorf("storage: Put of unpinned page %d", id)
+	}
+	f.pins--
+	return nil
 }
 
 // MarkDirty records that page id was modified and must be written back.
@@ -281,7 +334,10 @@ func (bp *BufferPool) Allocate() (PageID, []byte, error) {
 			return InvalidPageID, nil, err
 		}
 	}
-	f := &frame{id: id, data: make([]byte, bp.pager.PageSize()), dirty: true, pins: 1}
+	f := bp.newFrame(id)
+	clear(f.data) // recycled buffers carry stale bytes; new pages are zeroed
+	f.dirty = true
+	f.pins = 1
 	bp.frames[id] = f
 	bp.lruPushFront(f)
 	return id, f.data, nil

@@ -404,3 +404,177 @@ func TestDiskModelTime(t *testing.T) {
 		t.Fatal("default model must order random > near > sequential")
 	}
 }
+
+func TestBufferPoolPutAccounting(t *testing.T) {
+	pool := NewBufferPool(NewMemPager(64), 2)
+	id, _, err := pool.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Put(id); err != nil {
+		t.Fatalf("balanced Put: %v", err)
+	}
+	// A second Put of the now-unpinned page is a pin-balance bug.
+	if err := pool.Put(id); err == nil {
+		t.Fatal("Put of unpinned page returned nil")
+	}
+	// A Put of a page that was never fetched is likewise an error.
+	if err := pool.Put(PageID(999)); err == nil {
+		t.Fatal("Put of non-resident page returned nil")
+	}
+}
+
+func TestBufferPoolFailedReadNotCounted(t *testing.T) {
+	mem := NewMemPager(64)
+	for i := 0; i < 3; i++ {
+		if _, err := mem.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	faulty := NewFaultyPager(mem, 0)
+	pool := NewBufferPool(faulty, 2)
+	if _, err := pool.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Put(0); err != nil {
+		t.Fatal(err)
+	}
+	base := pool.Stats()
+
+	// Arm the fault: the next pager read fails. The failed fetch must not
+	// count as a miss nor advance the sequentiality tracker.
+	faulty.FailAt = faulty.Ops() + 1
+	if _, err := pool.Get(2); err == nil {
+		t.Fatal("expected read fault")
+	}
+	if got := pool.Stats(); got != base {
+		t.Fatalf("stats changed across failed read: %v -> %v", base, got)
+	}
+
+	// After the device recovers, reading page 1 is sequential relative to
+	// the last *successful* miss (page 0), proving the failed probe of
+	// page 2 did not advance lastMiss.
+	faulty.Reset()
+	if _, err := pool.Get(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Put(1); err != nil {
+		t.Fatal(err)
+	}
+	st := pool.Stats().Sub(base)
+	if st.Misses != 1 || st.SeqMisses != 1 {
+		t.Fatalf("post-recovery delta %v, want 1 sequential miss", st)
+	}
+}
+
+func TestBufferPoolFrameRecycling(t *testing.T) {
+	mem := NewMemPager(4096)
+	const pages = 16
+	for i := 0; i < pages; i++ {
+		if _, err := mem.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pool := NewBufferPool(mem, 2)
+	// Warm up: fill the pool and force the free-list to grow via
+	// evictions.
+	for i := PageID(0); i < pages; i++ {
+		if _, err := pool.Get(i); err != nil {
+			t.Fatal(err)
+		}
+		if err := pool.Put(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Steady-state miss traffic must not allocate page buffers: every
+	// miss recycles an evicted frame.
+	next := PageID(0)
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := pool.Get(next); err != nil {
+			t.Fatal(err)
+		}
+		if err := pool.Put(next); err != nil {
+			t.Fatal(err)
+		}
+		next = (next + 1) % pages
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state misses allocated %.1f times per run", allocs)
+	}
+}
+
+func TestBufferPoolDropAllRecyclesFrames(t *testing.T) {
+	mem := NewMemPager(1024)
+	for i := 0; i < 4; i++ {
+		if _, err := mem.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pool := NewBufferPool(mem, 4)
+	for i := PageID(0); i < 4; i++ {
+		if _, err := pool.Get(i); err != nil {
+			t.Fatal(err)
+		}
+		if err := pool.Put(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pool.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-reading after DropAll reuses the dropped frames.
+	allocs := testing.AllocsPerRun(1, func() {
+		for i := PageID(0); i < 4; i++ {
+			if _, err := pool.Get(i); err != nil {
+				t.Fatal(err)
+			}
+			if err := pool.Put(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := pool.DropAll(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// DropAll rebuilds its small frames map (~2 allocations); the page
+	// buffers themselves must all come from the free-list.
+	if allocs > 2 {
+		t.Fatalf("post-DropAll reads allocated %.1f times per run", allocs)
+	}
+}
+
+func TestBufferPoolAllocateZeroesRecycledFrames(t *testing.T) {
+	mem := NewMemPager(128)
+	pool := NewBufferPool(mem, 1)
+	id, data, err := pool.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		data[i] = 0xAB
+	}
+	pool.MarkDirty(id)
+	if err := pool.Put(id); err != nil {
+		t.Fatal(err)
+	}
+	// Evict the dirtied frame into the free-list, then allocate: the
+	// recycled buffer must come back zeroed.
+	if _, err := mem.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Get(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Put(1); err != nil {
+		t.Fatal(err)
+	}
+	_, fresh, err := pool.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range fresh {
+		if b != 0 {
+			t.Fatalf("recycled Allocate buffer byte %d = %#x, want 0", i, b)
+		}
+	}
+}

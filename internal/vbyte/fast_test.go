@@ -1,0 +1,220 @@
+package vbyte
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refUint32 is the pre-optimisation reference implementation of Uint32:
+// decode through Uint64 and narrow. The fast decoder must match it on
+// every input — value, width, and error classification.
+func refUint32(buf []byte) (uint32, int, error) {
+	v, n, err := Uint64(buf)
+	if err != nil {
+		return 0, 0, err
+	}
+	if v > 0xFFFFFFFF {
+		return 0, 0, fmt.Errorf("%w: %d does not fit in 32 bits", ErrOverflow, v)
+	}
+	return uint32(v), n, nil
+}
+
+// checkUint32Matches asserts the fast Uint32 agrees with the reference on
+// one input.
+func checkUint32Matches(t *testing.T, buf []byte) {
+	t.Helper()
+	gv, gn, gerr := Uint32(buf)
+	wv, wn, werr := refUint32(buf)
+	if (gerr == nil) != (werr == nil) {
+		t.Fatalf("Uint32(%x) err = %v, reference err = %v", buf, gerr, werr)
+	}
+	if werr != nil {
+		for _, sentinel := range []error{ErrTruncated, ErrOverflow} {
+			if errors.Is(gerr, sentinel) != errors.Is(werr, sentinel) {
+				t.Fatalf("Uint32(%x) err %v classifies %v differently from reference %v",
+					buf, gerr, sentinel, werr)
+			}
+		}
+		return
+	}
+	if gv != wv || gn != wn {
+		t.Fatalf("Uint32(%x) = (%d, %d), reference (%d, %d)", buf, gv, gn, wv, wn)
+	}
+}
+
+func TestUint32FastMatchesReference(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0},
+		{1},
+		{0x7F},
+		{0x80},       // truncated
+		{0x80, 0x01}, // 128
+		{0xFF, 0x7F}, // 16383
+		AppendUint32(nil, math.MaxUint32),
+		AppendUint64(nil, math.MaxUint32+1),  // 33 bits: overflow-32
+		AppendUint64(nil, math.MaxUint64),    // 64 bits: overflow-32
+		{0xFF, 0xFF, 0xFF, 0xFF, 0x0F},       // exactly MaxUint32
+		{0xFF, 0xFF, 0xFF, 0xFF, 0x10},       // one past 32 bits
+		{0x80, 0x80, 0x80, 0x80, 0x80},       // truncated mid 5th byte
+		{0x80, 0x80, 0x80, 0x80, 0x80, 0x01}, // 35-bit-wide zero-payload
+		bytes.Repeat([]byte{0xFF}, 11),       // overlong beyond 64 bits
+		append(bytes.Repeat([]byte{0x80}, 9), 0x01), // high bit of uint64
+		append(bytes.Repeat([]byte{0x80}, 9), 0x02), // 65-bit overflow
+	}
+	for _, c := range cases {
+		checkUint32Matches(t, c)
+	}
+	// Every encodable 32-bit boundary value round trips identically.
+	for shift := 0; shift < 32; shift++ {
+		for _, delta := range []int64{-1, 0, 1} {
+			v := int64(1)<<uint(shift) + delta
+			if v < 0 || v > math.MaxUint32 {
+				continue
+			}
+			checkUint32Matches(t, AppendUint32(nil, uint32(v)))
+		}
+	}
+}
+
+func FuzzUint32(f *testing.F) {
+	f.Add([]byte{0x05})
+	f.Add([]byte{0x80, 0x01})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x10})
+	f.Add(bytes.Repeat([]byte{0x80}, 12))
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		checkUint32Matches(t, buf)
+	})
+}
+
+// checkPostingsMatch asserts DecodePostingsInto agrees with the reference
+// DecodePostings on one (buf, prev) input.
+func checkPostingsMatch(t *testing.T, buf []byte, prev uint32) {
+	t.Helper()
+	want, werr := DecodePostings(buf, prev, nil)
+	got, gerr := DecodePostingsInto(buf, prev, nil)
+	if (gerr == nil) != (werr == nil) {
+		t.Fatalf("DecodePostingsInto(%x, %d) err = %v, reference err = %v", buf, prev, gerr, werr)
+	}
+	if werr != nil {
+		for _, sentinel := range []error{ErrTruncated, ErrOverflow, ErrNonMonotonic} {
+			if errors.Is(gerr, sentinel) != errors.Is(werr, sentinel) {
+				t.Fatalf("DecodePostingsInto(%x, %d) err %v classifies %v differently from reference %v",
+					buf, prev, gerr, sentinel, werr)
+			}
+		}
+		return
+	}
+	if len(got) != len(want) {
+		t.Fatalf("DecodePostingsInto(%x, %d) decoded %d postings, reference %d", buf, prev, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DecodePostingsInto(%x, %d) posting %d = %+v, reference %+v", buf, prev, i, got[i], want[i])
+		}
+	}
+}
+
+func TestDecodePostingsIntoMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(150)
+		ps := make([]Posting, 0, n)
+		id := uint32(0)
+		for i := 0; i < n; i++ {
+			id += uint32(1 + rng.Intn(1<<uint(rng.Intn(18))))
+			ps = append(ps, Posting{ID: id, Length: uint32(rng.Intn(1 << uint(rng.Intn(18))))})
+		}
+		buf, err := AppendPostings(nil, ps, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPostingsMatch(t, buf, 0)
+		// Truncations and corruptions must classify identically too.
+		if len(buf) > 0 {
+			checkPostingsMatch(t, buf[:rng.Intn(len(buf))], 0)
+			flip := append([]byte(nil), buf...)
+			flip[rng.Intn(len(flip))] ^= byte(1 << uint(rng.Intn(8)))
+			checkPostingsMatch(t, flip, 0)
+		}
+	}
+}
+
+func TestDecodePostingsIntoReusesArena(t *testing.T) {
+	ps := []Posting{{1, 2}, {3, 4}, {700, 5}}
+	buf, err := AppendPostings(nil, ps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := make([]Posting, 0, 16)
+	allocs := testing.AllocsPerRun(100, func() {
+		out, err := DecodePostingsInto(buf, 0, arena[:0])
+		if err != nil || len(out) != len(ps) {
+			t.Fatalf("decode: %v (%d postings)", err, len(out))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DecodePostingsInto into a sized arena allocated %.1f times per run", allocs)
+	}
+}
+
+func FuzzDecodePostings(f *testing.F) {
+	seed, err := AppendPostings(nil, []Posting{{1, 3}, {2, 1}, {900, 12}}, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed, uint32(0))
+	f.Add([]byte{0x00, 0x01}, uint32(0)) // zero gap
+	f.Add([]byte{0x80}, uint32(7))       // truncated gap
+	f.Add([]byte{0x01}, uint32(7))       // truncated length
+	f.Fuzz(func(t *testing.T, buf []byte, prev uint32) {
+		checkPostingsMatch(t, buf, prev)
+	})
+}
+
+func BenchmarkUint32(b *testing.B) {
+	small := AppendUint32(nil, 42)
+	large := AppendUint32(nil, 1<<27)
+	b.Run("1byte", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := Uint32(small); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("4byte", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := Uint32(large); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkDecodePostingsInto(b *testing.B) {
+	ps := make([]Posting, 1024)
+	id := uint32(0)
+	rng := rand.New(rand.NewSource(1))
+	for i := range ps {
+		id += uint32(1 + rng.Intn(50))
+		ps[i] = Posting{ID: id, Length: uint32(2 + rng.Intn(18))}
+	}
+	buf, err := AppendPostings(nil, ps, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]Posting, 0, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = out[:0]
+		out, err = DecodePostingsInto(buf, 0, out)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -202,9 +202,10 @@ func (e *oifEngine) ix() *core.Index { return e.b.(*core.Index) }
 
 func buildOIFEngine(ds *dataset.Dataset, opts Options) (Engine, error) {
 	ix, err := core.Build(ds, core.Options{
-		PageSize:      opts.PageSize,
-		BlockPostings: opts.BlockPostings,
-		TagPrefix:     opts.TagPrefix,
+		PageSize:             opts.PageSize,
+		BlockPostings:        opts.BlockPostings,
+		TagPrefix:            opts.TagPrefix,
+		DecodedCachePostings: opts.DecodedCachePostings,
 	})
 	if err != nil {
 		return nil, err
@@ -234,6 +235,25 @@ func (e *oifEngine) Save(w io.Writer) error { return e.ix().Save(w) }
 func (e *oifEngine) Space() SpaceInfo {
 	s := e.ix().Space()
 	return SpaceInfo{Pages: s.TreePages, Bytes: s.TreeBytes}
+}
+
+// AppendSubset implements AppendQueryable on the OIF's zero-allocation
+// query path; likewise AppendEquality and AppendSuperset.
+func (e *oifEngine) AppendSubset(dst []uint32, qs []Item) ([]uint32, error) {
+	return e.ix().AppendSubset(dst, qs)
+}
+
+func (e *oifEngine) AppendEquality(dst []uint32, qs []Item) ([]uint32, error) {
+	return e.ix().AppendEquality(dst, qs)
+}
+
+func (e *oifEngine) AppendSuperset(dst []uint32, qs []Item) ([]uint32, error) {
+	return e.ix().AppendSuperset(dst, qs)
+}
+
+// DecodedStats exposes the OIF's decoded-block cache statistics.
+func (e *oifEngine) DecodedStats() DecodedCacheStats {
+	return decodedStatsOf(e.ix().DecodedStats())
 }
 
 // --- Inverted file ------------------------------------------------------

@@ -1,0 +1,266 @@
+package setcontain_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/setcontain"
+)
+
+// hotTestCollection builds a skewed synthetic collection big enough to
+// exercise multi-block lists but quick to index in a unit test.
+func hotTestCollection(t testing.TB) *setcontain.Collection {
+	t.Helper()
+	d, err := dataset.GenerateSynthetic(dataset.SyntheticConfig{
+		NumRecords: 8000,
+		DomainSize: 400,
+		MinLen:     2,
+		MaxLen:     16,
+		ZipfTheta:  0.9,
+		Seed:       11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return setcontain.WrapDataset(d)
+}
+
+// hotTestQueries draws a deterministic mixed workload whose items follow
+// the records' own skew (sampling record sets, like the paper's query
+// generator).
+func hotTestQueries(t testing.TB, c *setcontain.Collection, count int) []setcontain.Query {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	preds := []setcontain.Predicate{
+		setcontain.PredicateSubset,
+		setcontain.PredicateEquality,
+		setcontain.PredicateSuperset,
+	}
+	var qs []setcontain.Query
+	for len(qs) < count {
+		set, err := c.Record(uint32(1 + rng.Intn(c.Len())))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(set) < 2 {
+			continue
+		}
+		k := 2 + rng.Intn(len(set)-1)
+		items := append([]setcontain.Item(nil), set...)
+		rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+		items = items[:k]
+		qs = append(qs, setcontain.Query{Pred: preds[len(qs)%len(preds)], Items: items})
+	}
+	return qs
+}
+
+// TestStoreExecAppendZeroAllocs is the zero-allocation regression gate:
+// steady-state Store.ExecAppend over a warm OIF store must not allocate
+// for any of the three predicates.
+func TestStoreExecAppendZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; run without -race")
+	}
+	c := hotTestCollection(t)
+	idx, err := setcontain.New(c,
+		setcontain.WithKind(setcontain.OIF),
+		setcontain.WithCachePages(2048),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := setcontain.NewStore(idx, 2048)
+	ctx := context.Background()
+	queries := hotTestQueries(t, c, 30)
+
+	// Warm: run every query twice so page cache, decoded cache, arenas,
+	// and the answer buffer all reach their high-water marks.
+	dst := make([]uint32, 0, 64)
+	for pass := 0; pass < 2; pass++ {
+		for _, q := range queries {
+			if dst, err = store.ExecAppend(ctx, dst[:0], q); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	for _, q := range queries {
+		q := q
+		allocs := testing.AllocsPerRun(50, func() {
+			var err error
+			dst, err = store.ExecAppend(ctx, dst[:0], q)
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%v: %.2f allocs per steady-state ExecAppend, want 0", q, allocs)
+		}
+	}
+}
+
+// TestDecodedCacheSameAnswers is the cache-correctness property test:
+// for every predicate and a large query mix, an OIF with the decoded
+// cache enabled must return byte-identical answers to one with the
+// cache disabled.
+func TestDecodedCacheSameAnswers(t *testing.T) {
+	c := hotTestCollection(t)
+	cached, err := setcontain.New(c,
+		setcontain.WithKind(setcontain.OIF),
+		setcontain.WithDecodedCache(1024), // small: force admission churn too
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached, err := setcontain.New(c,
+		setcontain.WithKind(setcontain.OIF),
+		setcontain.WithDecodedCache(-1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := hotTestQueries(t, c, 120)
+	// Two passes so the second round answers from a populated cache.
+	for pass := 0; pass < 2; pass++ {
+		for i, q := range queries {
+			want, err := q.Eval(uncached)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := q.Eval(cached)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("pass %d query %d %v: %d ids cached vs %d uncached", pass, i, q, len(got), len(want))
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("pass %d query %d %v: id[%d] = %d cached vs %d uncached", pass, i, q, j, got[j], want[j])
+				}
+			}
+		}
+	}
+	if st := cached.DecodedCacheStats(); st.Hits == 0 {
+		t.Error("cached index reported no decoded-cache hits")
+	}
+	if st := uncached.DecodedCacheStats(); st.Hits+st.Misses != 0 {
+		t.Errorf("uncached index reported decoded-cache traffic: %+v", st)
+	}
+}
+
+// TestDecodedCacheStatsSurface checks the stats plumbing across engine,
+// reader, and sharded aggregation.
+func TestDecodedCacheStatsSurface(t *testing.T) {
+	c := hotTestCollection(t)
+	idx, err := setcontain.New(c, setcontain.WithKind(setcontain.OIF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := hotTestQueries(t, c, 12)
+	for _, q := range queries {
+		if _, err := q.Eval(idx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := idx.DecodedCacheStats()
+	if st.Hits+st.Misses == 0 {
+		t.Error("engine decoded-cache stats empty after queries")
+	}
+	if st.Capacity != setcontain.DefaultDecodedCachePostings {
+		t.Errorf("capacity = %d, want default %d", st.Capacity, setcontain.DefaultDecodedCachePostings)
+	}
+	if hr := st.HitRate(); hr < 0 || hr > 1 {
+		t.Errorf("hit rate %f outside [0,1]", hr)
+	}
+
+	// Readers carry private caches.
+	r, err := idx.NewReader(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := r.DecodedCacheStats(); st.Hits+st.Misses != 0 {
+		t.Errorf("fresh reader already has decoded traffic: %+v", st)
+	}
+	for _, q := range queries {
+		if _, err := r.Eval(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := r.DecodedCacheStats(); st.Hits+st.Misses == 0 {
+		t.Error("reader decoded-cache stats empty after queries")
+	}
+
+	// Sharded engines aggregate across their OIF shards; with the
+	// skewed fixture the planner picks the OIF for every shard.
+	sharded, err := setcontain.New(c,
+		setcontain.WithKind(setcontain.Sharded),
+		setcontain.WithShards(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		if _, err := q.Eval(sharded); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := sharded.DecodedCacheStats(); st.Hits+st.Misses == 0 {
+		t.Error("sharded decoded-cache stats empty after queries")
+	}
+
+	// Disabled cache: zero traffic, zero capacity.
+	off, err := setcontain.New(c,
+		setcontain.WithKind(setcontain.OIF),
+		setcontain.WithDecodedCache(-1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		if _, err := q.Eval(off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := off.DecodedCacheStats(); st != (setcontain.DecodedCacheStats{}) {
+		t.Errorf("disabled cache reported %+v", st)
+	}
+}
+
+// TestExecAppendMatchesExec pins the append-form contract: identical
+// answers to Exec, existing dst preserved.
+func TestExecAppendMatchesExec(t *testing.T) {
+	c := hotTestCollection(t)
+	for _, kind := range []setcontain.Kind{setcontain.OIF, setcontain.InvertedFile} {
+		idx, err := setcontain.New(c, setcontain.WithKind(kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		store := setcontain.NewStore(idx, 0)
+		ctx := context.Background()
+		for _, q := range hotTestQueries(t, c, 30) {
+			want, err := store.Exec(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prefix := []uint32{7, 3}
+			got, err := store.ExecAppend(ctx, prefix, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[0] != 7 || got[1] != 3 {
+				t.Fatalf("%v on %v: ExecAppend clobbered dst prefix: %v", q, kind, got[:2])
+			}
+			if len(got)-2 != len(want) {
+				t.Fatalf("%v on %v: %d appended ids, want %d", q, kind, len(got)-2, len(want))
+			}
+			for i := range want {
+				if got[i+2] != want[i] {
+					t.Fatalf("%v on %v: id[%d] = %d, want %d", q, kind, i, got[i+2], want[i])
+				}
+			}
+		}
+	}
+}

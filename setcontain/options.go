@@ -83,6 +83,17 @@ type Options struct {
 	// BuildParallelism bounds the goroutines building shards in parallel
 	// (default GOMAXPROCS). Ignored by the other kinds.
 	BuildParallelism int
+	// DecodedCachePostings sizes the OIF's decoded-block cache in
+	// postings (8 bytes each): hot inverted-list blocks are kept in
+	// decoded form so repeat visits skip the vbyte decode entirely, with
+	// admission weighted by the item-frequency profile when it is skewed
+	// (hot lists stay decoded; see the README's "CPU performance").
+	// 0 selects DefaultDecodedCachePostings; negative disables the
+	// cache. The budget is per query handle — the engine and every
+	// Reader (including Store's pooled readers, and each shard of a
+	// Sharded reader) carry their own cache. Ignored by the IF/UBT
+	// kinds.
+	DecodedCachePostings int
 
 	// blockPostingsExplicit records (at fill time) whether the caller set
 	// BlockPostings, so the sharded planner only sizes the OIF frontier
@@ -90,6 +101,12 @@ type Options struct {
 	// WithBlockPostings always wins, even when it equals the default.
 	blockPostingsExplicit bool
 }
+
+// DefaultDecodedCachePostings is the decoded-block cache budget when
+// WithDecodedCache is absent: 32 Ki postings = 256 KB per query handle,
+// enough to keep the hottest lists of the paper's synthetic defaults
+// decoded.
+const DefaultDecodedCachePostings = 1 << 15
 
 // fill applies the documented defaults in place.
 func (o *Options) fill() {
@@ -102,6 +119,12 @@ func (o *Options) fill() {
 	}
 	if o.CachePages == 0 {
 		o.CachePages = storage.DefaultPoolPages
+	}
+	switch {
+	case o.DecodedCachePostings == 0:
+		o.DecodedCachePostings = DefaultDecodedCachePostings
+	case o.DecodedCachePostings < 0:
+		o.DecodedCachePostings = 0 // disabled at the core level
 	}
 }
 
@@ -140,3 +163,8 @@ func WithShards(n int) Option { return func(o *Options) { o.Shards = n } }
 // WithBuildParallelism bounds the goroutines building shards in
 // parallel (n <= 0 keeps the default GOMAXPROCS).
 func WithBuildParallelism(n int) Option { return func(o *Options) { o.BuildParallelism = n } }
+
+// WithDecodedCache sizes the OIF's decoded-block cache in postings per
+// query handle (n < 0 disables it, 0 keeps the default
+// DefaultDecodedCachePostings). See Options.DecodedCachePostings.
+func WithDecodedCache(n int) Option { return func(o *Options) { o.DecodedCachePostings = n } }

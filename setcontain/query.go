@@ -109,6 +109,41 @@ func (q Query) Eval(t Queryable) ([]uint32, error) {
 	}
 }
 
+// AppendQueryable is the append-form query surface: answers are
+// appended to a caller-provided slice instead of freshly allocated.
+// The OIF engine and its readers implement it on the zero-allocation
+// query path; EvalAppend falls back to Eval plus a copy for the rest.
+type AppendQueryable interface {
+	AppendSubset(dst []uint32, qs []Item) ([]uint32, error)
+	AppendEquality(dst []uint32, qs []Item) ([]uint32, error)
+	AppendSuperset(dst []uint32, qs []Item) ([]uint32, error)
+}
+
+// EvalAppend answers the query against t, appending the answer to dst
+// and returning the extended slice. With a target implementing
+// AppendQueryable (an OIF Index, Engine, or Reader) and warm caches the
+// call performs no allocations beyond growing dst; other targets answer
+// through Eval and copy.
+func (q Query) EvalAppend(dst []uint32, t Queryable) ([]uint32, error) {
+	if at, ok := t.(AppendQueryable); ok {
+		switch q.Pred {
+		case PredicateSubset:
+			return at.AppendSubset(dst, q.Items)
+		case PredicateEquality:
+			return at.AppendEquality(dst, q.Items)
+		case PredicateSuperset:
+			return at.AppendSuperset(dst, q.Items)
+		default:
+			return nil, ErrUnknownPredicate
+		}
+	}
+	ids, err := q.Eval(t)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, ids...), nil
+}
+
 // EvalSeq answers the query as a lazy sequence; see Index.SubsetSeq for
 // the streaming contract.
 func (q Query) EvalSeq(t Queryable) (iter.Seq[uint32], error) {

@@ -3,6 +3,7 @@ package setcontain
 import (
 	"iter"
 
+	"repro/internal/core"
 	"repro/internal/storage"
 )
 
@@ -38,6 +39,61 @@ func (r *Reader) Superset(qs []Item) ([]uint32, error) { return r.r.Superset(qs)
 
 // Eval answers a first-class Query.
 func (r *Reader) Eval(q Query) ([]uint32, error) { return q.Eval(r) }
+
+// AppendSubset appends the Subset answer to dst — the reader's
+// zero-allocation form when the backend supports it (OIF), otherwise a
+// plain call plus copy. See Index.AppendSubset for the append contract.
+func (r *Reader) AppendSubset(dst []uint32, qs []Item) ([]uint32, error) {
+	if ar, ok := r.r.(AppendQueryable); ok {
+		return ar.AppendSubset(dst, qs)
+	}
+	ids, err := r.r.Subset(qs)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, ids...), nil
+}
+
+// AppendEquality appends the Equality answer to dst; see AppendSubset.
+func (r *Reader) AppendEquality(dst []uint32, qs []Item) ([]uint32, error) {
+	if ar, ok := r.r.(AppendQueryable); ok {
+		return ar.AppendEquality(dst, qs)
+	}
+	ids, err := r.r.Equality(qs)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, ids...), nil
+}
+
+// AppendSuperset appends the Superset answer to dst; see AppendSubset.
+func (r *Reader) AppendSuperset(dst []uint32, qs []Item) ([]uint32, error) {
+	if ar, ok := r.r.(AppendQueryable); ok {
+		return ar.AppendSuperset(dst, qs)
+	}
+	ids, err := r.r.Superset(qs)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, ids...), nil
+}
+
+// EvalAppend answers a first-class Query in append form.
+func (r *Reader) EvalAppend(dst []uint32, q Query) ([]uint32, error) {
+	return q.EvalAppend(dst, r)
+}
+
+// DecodedCacheStats reports this reader's private decoded-block cache
+// statistics (all zero for backends without one).
+func (r *Reader) DecodedCacheStats() DecodedCacheStats {
+	switch ds := r.r.(type) {
+	case decodedStatser:
+		return ds.DecodedStats()
+	case interface{ DecodedStats() core.DecodedCacheStats }:
+		return decodedStatsOf(ds.DecodedStats())
+	}
+	return DecodedCacheStats{}
+}
 
 // SubsetSeq streams the Subset answer; see Index.SubsetSeq.
 func (r *Reader) SubsetSeq(qs []Item) (iter.Seq[uint32], error) {

@@ -257,6 +257,91 @@ func (ix *Index) CacheStats() CacheStats { return ix.eng.Stats() }
 // ResetCacheStats zeroes the statistics (the cache contents remain).
 func (ix *Index) ResetCacheStats() { ix.eng.ResetStats() }
 
+// DecodedCacheStats reports the decoded-block cache's effectiveness:
+// how many inverted-list block visits were served in already-decoded
+// form (Hits) versus decoded from page bytes (Misses), and what the
+// skew-aware admission policy did with the decoded blocks. All fields
+// are zero for engines without a decoded cache (IF, UBT, or an OIF
+// built with WithDecodedCache(-1)).
+type DecodedCacheStats struct {
+	Hits     int64 // block visits served without decoding
+	Misses   int64 // block visits that decoded from page bytes
+	Admitted int64 // decoded blocks copied into the cache
+	Rejected int64 // decoded blocks denied admission (colder than residents)
+	Evicted  int64 // cached blocks displaced by hotter arrivals
+	Postings int   // postings currently cached
+	Capacity int   // maximum postings (summed across shards)
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any block visit.
+func (s DecodedCacheStats) HitRate() float64 {
+	if total := s.Hits + s.Misses; total > 0 {
+		return float64(s.Hits) / float64(total)
+	}
+	return 0
+}
+
+// add sums two snapshots (used to aggregate shard caches).
+func (s DecodedCacheStats) add(t DecodedCacheStats) DecodedCacheStats {
+	return DecodedCacheStats{
+		Hits:     s.Hits + t.Hits,
+		Misses:   s.Misses + t.Misses,
+		Admitted: s.Admitted + t.Admitted,
+		Rejected: s.Rejected + t.Rejected,
+		Evicted:  s.Evicted + t.Evicted,
+		Postings: s.Postings + t.Postings,
+		Capacity: s.Capacity + t.Capacity,
+	}
+}
+
+func decodedStatsOf(s core.DecodedCacheStats) DecodedCacheStats {
+	return DecodedCacheStats{
+		Hits:     s.Hits,
+		Misses:   s.Misses,
+		Admitted: s.Admitted,
+		Rejected: s.Rejected,
+		Evicted:  s.Evicted,
+		Postings: s.Postings,
+		Capacity: s.Capacity,
+	}
+}
+
+// decodedStatser is the optional engine/reader surface behind
+// DecodedCacheStats.
+type decodedStatser interface {
+	DecodedStats() DecodedCacheStats
+}
+
+// DecodedCacheStats returns the engine's decoded-block cache statistics
+// (the engine's own cache only — Readers carry private caches, reported
+// by Reader.DecodedCacheStats).
+func (ix *Index) DecodedCacheStats() DecodedCacheStats {
+	if ds, ok := ix.eng.(decodedStatser); ok {
+		return ds.DecodedStats()
+	}
+	return DecodedCacheStats{}
+}
+
+// AppendSubset appends Subset's answer to dst and returns the extended
+// slice — the zero-allocation form: on an OIF engine with warm page and
+// decoded caches, the query reuses per-engine scratch arenas throughout
+// and allocates nothing beyond dst's capacity. Existing dst contents
+// are preserved; only the appended region is sorted. Engines without an
+// append-form backend fall back to the plain call plus a copy.
+func (ix *Index) AppendSubset(dst []uint32, qs []Item) ([]uint32, error) {
+	return SubsetQuery(qs).EvalAppend(dst, ix.eng)
+}
+
+// AppendEquality appends Equality's answer to dst; see AppendSubset.
+func (ix *Index) AppendEquality(dst []uint32, qs []Item) ([]uint32, error) {
+	return EqualityQuery(qs).EvalAppend(dst, ix.eng)
+}
+
+// AppendSuperset appends Superset's answer to dst; see AppendSubset.
+func (ix *Index) AppendSuperset(dst []uint32, qs []Item) ([]uint32, error) {
+	return SupersetQuery(qs).EvalAppend(dst, ix.eng)
+}
+
 // NewReader creates a parallel query handle with its own cache of
 // cachePages pages (0 selects the default 32 KB). The reader shares the
 // index's immutable pages but owns its cache, so one reader per

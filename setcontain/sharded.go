@@ -423,6 +423,18 @@ func (e *shardedEngine) ResetStats() {
 	}
 }
 
+// DecodedStats sums the decoded-block cache statistics of the shards
+// whose inner engines keep one (the planner's OIF shards).
+func (e *shardedEngine) DecodedStats() DecodedCacheStats {
+	var total DecodedCacheStats
+	for _, sh := range e.shards {
+		if ds, ok := sh.(decodedStatser); ok {
+			total = total.add(ds.DecodedStats())
+		}
+	}
+	return total
+}
+
 func (e *shardedEngine) SetPool(*storage.BufferPool) error { return errShardedPool }
 
 // Pool returns the first shard's pool so pool-shape probes (page size,
@@ -464,6 +476,15 @@ func (r *shardedReader) ResetStats() {
 	for _, sh := range r.shards {
 		sh.ResetCacheStats()
 	}
+}
+
+// DecodedStats sums the shard readers' decoded-block cache statistics.
+func (r *shardedReader) DecodedStats() DecodedCacheStats {
+	var total DecodedCacheStats
+	for _, sh := range r.shards {
+		total = total.add(sh.DecodedCacheStats())
+	}
+	return total
 }
 
 // Pool returns the first shard reader's pool (see shardedEngine.Pool);

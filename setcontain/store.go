@@ -101,6 +101,27 @@ func (s *Store) Exec(ctx context.Context, q Query) ([]uint32, error) {
 	return q.Eval(e.r)
 }
 
+// ExecAppend answers q on a pooled reader, appending the answer to dst
+// and returning the extended slice — the zero-allocation serving form:
+// with an OIF engine, warm caches, and a dst with capacity to spare, a
+// steady-state call performs no heap allocations at all. The dst slice
+// is owned by the caller throughout; pooled readers never retain it.
+// Cancellation behaves exactly like Exec.
+func (s *Store) ExecAppend(ctx context.Context, dst []uint32, q Query) ([]uint32, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e, err := s.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer s.release(e)
+	if ctx.Done() != nil {
+		e.r.setInterrupt(ctx.Err)
+	}
+	return e.r.EvalAppend(dst, q)
+}
+
 // ExecSeq answers q as a lazy sequence; the query itself runs eagerly
 // under ctx like Exec, iteration is then cancellation-free.
 func (s *Store) ExecSeq(ctx context.Context, q Query) (iter.Seq[uint32], error) {
