@@ -5,7 +5,7 @@ GOLANGCI ?= golangci-lint
 COVER_FLOOR ?= 75
 COVER_PKGS = ./setcontain/... ./internal/stats/...
 
-.PHONY: all build vet test bench bench-baseline bench-compare lint cover check
+.PHONY: all build vet test bench bench-baseline bench-compare lint cover check linkcheck vet-examples serve
 
 all: check
 
@@ -57,6 +57,20 @@ bench-compare:
 
 lint:
 	$(GOLANGCI) run ./...
+
+# Verify relative markdown links in README.md, docs/, and the example
+# READMEs resolve; the CI docs job runs this.
+linkcheck:
+	./scripts/linkcheck.sh
+
+# The examples are the documentation's code snippets writ large: vet
+# them explicitly so a drifting API fails the docs job, not a reader.
+vet-examples:
+	$(GO) vet ./examples/...
+
+# Serve a demo dataset locally (see cmd/setcontaind -help for flags).
+serve:
+	$(GO) run ./cmd/setcontaind -synthetic 100000 -index sharded
 
 cover:
 	$(GO) test -coverprofile=coverage.out $(COVER_PKGS)

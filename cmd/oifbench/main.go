@@ -26,9 +26,10 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "one of: all (= every paper artefact: fig7-fig10, space, ordering, summary, ablations), concurrency (extra-paper Store sweep), or sharding (Sharded engine scale-out sweep)")
+		experiment = flag.String("experiment", "all", "one of: all (= every paper artefact: fig7-fig10, space, ordering, summary, ablations), concurrency (extra-paper Store sweep), sharding (Sharded engine scale-out sweep), or serve (HTTP serving-layer load sweep)")
 		engine     = flag.String("engine", "oif", "engine for -experiment concurrency: oif, if, ubt, or sharded")
-		workers    = flag.Int("workers", 8, "max goroutines for -experiment concurrency (swept 1,2,4,...) and the -experiment sharding query load")
+		workers    = flag.Int("workers", 8, "max goroutines for -experiment concurrency (swept 1,2,4,...), the -experiment sharding query load, and the -experiment serve client sweep")
+		addr       = flag.String("addr", "", "for -experiment serve: a live setcontaind base URL (empty starts an in-process server)")
 		shards     = flag.Int("shards", 8, "max shard count for -experiment sharding (swept 1,2,4,...)")
 		scale      = flag.Float64("scale", 0.01, "fraction of the paper's synthetic |D| (1.0 = paper scale)")
 		realScale  = flag.Float64("realscale", 0.1, "fraction of the real-dataset twins' record counts")
@@ -80,6 +81,8 @@ func main() {
 		_, err = experiments.RunConcurrency(cfg, kind, *workers)
 	case "sharding":
 		_, err = experiments.RunSharding(cfg, *shards, *workers)
+	case "serve":
+		_, err = experiments.RunServe(cfg, *workers, *addr)
 	default:
 		fmt.Fprintf(os.Stderr, "oifbench: unknown experiment %q\n", *experiment)
 		flag.Usage()

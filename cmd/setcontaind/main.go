@@ -1,0 +1,167 @@
+// Command setcontaind serves set-containment queries over HTTP: it
+// indexes a dataset (a file in the text or msweb formats, or a
+// generated skewed synthetic collection), wraps the index in a
+// concurrency-safe Store, and answers remote clients through the
+// serve package's micro-batching layer.
+//
+// Usage:
+//
+//	setcontaind -synthetic 100000 -index sharded -shards 4
+//	setcontaind -data sets.txt -addr :8080
+//	setcontaind -msweb anonymous-msweb.data -replicas 10
+//
+// Endpoints: POST /query (batch, NDJSON answers), GET /query?q=…,
+// GET /stream?q=… (flushed chunks), GET /stats, GET /healthz. Try it:
+//
+//	curl -sg 'localhost:8080/query?q=subset{3+17}'
+//	curl -s -d '{"queries":[{"pred":"superset","items":[1,2,3]}]}' localhost:8080/query
+//
+// Load-test a running instance with
+// `oifbench -experiment serve -addr http://localhost:8080`.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/setcontain"
+	"repro/setcontain/serve"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":8080", "listen address")
+
+		data      = flag.String("data", "", "dataset file in the text format (one record per line)")
+		msweb     = flag.String("msweb", "", "dataset file in the UCI msweb format")
+		replicas  = flag.Int("replicas", 1, "msweb session replication factor (the paper uses 10)")
+		synthetic = flag.Int("synthetic", 100000, "records of skewed synthetic data when no -data/-msweb is given")
+		domain    = flag.Int("domain", 2000, "synthetic vocabulary size")
+		zipf      = flag.Float64("zipf", 0.8, "synthetic Zipf exponent (the paper's default skew)")
+		seed      = flag.Int64("seed", 1, "synthetic generator seed")
+
+		index     = flag.String("index", "sharded", "index kind: oif, if, ubt, or sharded")
+		shards    = flag.Int("shards", 0, "sharded partition count (0 = one per CPU, minimum 2)")
+		pageSize  = flag.Int("pagesize", 0, "index page size in bytes (0 = 4096)")
+		blockPost = flag.Int("blockpostings", 0, "postings per OIF/UBT block (0 = default 64; sharded plans per shard)")
+		cache     = flag.Int("cachepages", 0, "page cache per pooled reader, in pages (0 = 32 KB)")
+		decoded   = flag.Int("decodedcache", 0, "decoded-block cache per query handle, in postings (0 = default, <0 disables)")
+
+		maxBatch    = flag.Int("maxbatch", 0, "max queries per coalesced dispatch (0 = 64)")
+		linger      = flag.Duration("linger", 0, "max wait to fill a batch (0 = 500µs, negative disables)")
+		maxPending  = flag.Int("maxpending", 0, "admission bound on queued queries (0 = 4x maxbatch)")
+		dispatchers = flag.Int("dispatchers", 0, "concurrent batch executors (0 = GOMAXPROCS)")
+		chunk       = flag.Int("chunk", 0, "ids per NDJSON response line (0 = 4096)")
+	)
+	flag.Parse()
+
+	coll, source, err := loadCollection(*data, *msweb, *replicas, *synthetic, *domain, *zipf, *seed)
+	if err != nil {
+		log.Fatalf("setcontaind: %v", err)
+	}
+	kind, err := setcontain.ParseKind(*index)
+	if err != nil {
+		log.Fatalf("setcontaind: %v", err)
+	}
+
+	buildStart := time.Now()
+	idx, err := setcontain.New(coll,
+		setcontain.WithKind(kind),
+		setcontain.WithShards(*shards),
+		setcontain.WithPageSize(*pageSize),
+		setcontain.WithBlockPostings(*blockPost),
+		setcontain.WithCachePages(*cache),
+		setcontain.WithDecodedCache(*decoded),
+	)
+	if err != nil {
+		log.Fatalf("setcontaind: building index: %v", err)
+	}
+	log.Printf("indexed %d records over %d items from %s: %s in %v",
+		coll.Len(), coll.DomainSize(), source, kind, time.Since(buildStart).Round(time.Millisecond))
+	for _, p := range setcontain.ShardPlans(idx.Engine()) {
+		log.Printf("shard %d: %s, %d records, theta %.2f", p.Shard, p.Kind, p.Records, p.Theta)
+	}
+
+	store := setcontain.NewStore(idx, *cache)
+	sv := serve.NewServer(idx, store, serve.Config{
+		MaxBatch:    *maxBatch,
+		MaxLinger:   *linger,
+		MaxPending:  *maxPending,
+		Dispatchers: *dispatchers,
+		ChunkIDs:    *chunk,
+	})
+	defer sv.Close()
+
+	hs := &http.Server{Addr: *addr, Handler: sv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// Shutdown closes the listener (ListenAndServe returns immediately)
+	// and then drains in-flight connections; main must wait for the
+	// drain before closing the batcher, or live queries die mid-answer.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			log.Printf("setcontaind: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("serving on %s (POST /query, GET /query?q=…, /stream, /stats, /healthz)", *addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("setcontaind: %v", err)
+	}
+	stop()
+	<-drained
+	log.Printf("shut down cleanly")
+}
+
+// loadCollection resolves the dataset flags to an indexed collection
+// and a human-readable source description.
+func loadCollection(data, msweb string, replicas, synthetic, domain int, zipf float64, seed int64) (*setcontain.Collection, string, error) {
+	switch {
+	case data != "" && msweb != "":
+		return nil, "", errors.New("-data and -msweb are mutually exclusive")
+	case data != "":
+		f, err := os.Open(data)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		coll, err := setcontain.ReadCollection(f)
+		return coll, data, err
+	case msweb != "":
+		f, err := os.Open(msweb)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		coll, err := setcontain.ReadMSWebCollection(f, replicas)
+		return coll, fmt.Sprintf("%s (x%d)", msweb, replicas), err
+	default:
+		d, err := dataset.GenerateSynthetic(dataset.SyntheticConfig{
+			NumRecords: synthetic,
+			DomainSize: domain,
+			MinLen:     2,
+			MaxLen:     16,
+			ZipfTheta:  zipf,
+			Seed:       seed,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		src := fmt.Sprintf("synthetic (|D|=%d, domain %d, zipf %.2f, seed %d)", synthetic, domain, zipf, seed)
+		return setcontain.WrapDataset(d), src, nil
+	}
+}

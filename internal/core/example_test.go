@@ -1,0 +1,39 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// Example builds an Ordered Inverted File over a small dataset and runs
+// one query of each containment predicate — the raw engine beneath the
+// public setcontain API.
+func Example() {
+	d := dataset.New(10)
+	for _, set := range [][]dataset.Item{
+		{0, 1, 3, 6}, {0, 1, 4}, {0, 1, 4, 5}, {0, 1, 3}, {0, 1, 2, 5},
+		{0, 2}, {3, 7}, {0, 1, 5}, {1, 2}, {1, 6, 9}, {0, 1, 2}, {3, 8},
+	} {
+		if _, err := d.Add(set); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ix, err := core.Build(d, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	subset, _ := ix.Subset([]dataset.Item{0, 3})
+	equality, _ := ix.Equality([]dataset.Item{0, 2})
+	superset, _ := ix.Superset([]dataset.Item{0, 2})
+	fmt.Println("subset{0 3}  ", subset)
+	fmt.Println("equality{0 2}", equality)
+	fmt.Println("superset{0 2}", superset)
+	// Output:
+	// subset{0 3}   [1 4]
+	// equality{0 2} [6]
+	// superset{0 2} [6]
+}

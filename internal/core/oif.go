@@ -1,11 +1,3 @@
-// Package core implements the paper's contribution: the Ordered Inverted
-// File (OIF). Records are globally re-ordered by the sequence form of
-// their sets under the frequency order <_D and given dense ids in that
-// order; each item's inverted list is cut into tagged blocks indexed in a
-// single disk B+-tree; a memory-resident metadata table replaces each
-// record's posting for its most frequent item with a contiguous id region
-// (§3). Queries compute a Range of Interest and touch only the B-tree
-// blocks that can hold answers (§4).
 package core
 
 import (

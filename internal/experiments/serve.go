@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/workload"
+	"repro/setcontain"
+	"repro/setcontain/serve"
+)
+
+// ServePoint is the measured service behaviour at one client count.
+type ServePoint struct {
+	Clients int
+	Queries int
+	Elapsed time.Duration
+	QPS     float64
+	P50     time.Duration
+	P90     time.Duration
+	P99     time.Duration
+}
+
+// ServeResult is the serving-layer load sweep: per-client-count
+// latency/throughput points plus the server's own account of how well
+// micro-batching and the decoded cache engaged.
+type ServeResult struct {
+	Addr           string
+	Points         []ServePoint
+	MeanBatch      float64
+	Pending        int
+	Rejected       int64
+	DecodedHitRate float64
+}
+
+// RunServe drives the HTTP serving layer with concurrent clients — the
+// ROADMAP's heavy-traffic scenario end-to-end over the wire. Unless
+// addr names a live setcontaind instance, an in-process server over a
+// sharded skewed synthetic dataset is started first. A mixed workload
+// is then replayed by 1, 2, 4, … up to maxClients concurrent clients
+// issuing single-query POST /query requests (so any batching observed
+// is the server coalescing independent requests, exactly the
+// production shape), and each point reports client-observed p50/p90/p99
+// latency and aggregate QPS. The final /stats fetch shows whether
+// micro-batching engaged: under concurrent load the mean batch size
+// should exceed 1.
+func RunServe(cfg Config, maxClients int, addr string) (ServeResult, error) {
+	cfg.fill()
+	if maxClients <= 0 {
+		maxClients = 8
+	}
+	w := cfg.Out
+
+	// One synthetic dataset serves both roles: the in-process server
+	// indexes it, and the workload generator draws queries from its
+	// records' own skew. Against a live -addr server the queries still
+	// come from these defaults — point such a server at a matching
+	// -synthetic dataset for meaningful answers.
+	d, err := dataset.GenerateSynthetic(cfg.SyntheticDefaults())
+	if err != nil {
+		return ServeResult{}, err
+	}
+
+	base := addr
+	if base == "" {
+		idx, err := setcontain.New(setcontain.WrapDataset(d),
+			setcontain.WithKind(setcontain.Sharded),
+			setcontain.WithPageSize(cfg.PageSize),
+			setcontain.WithCachePages(cfg.PoolPages),
+		)
+		if err != nil {
+			return ServeResult{}, err
+		}
+		store := setcontain.NewStore(idx, cfg.PoolPages)
+		sv := serve.NewServer(idx, store, serve.Config{})
+		defer sv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return ServeResult{}, err
+		}
+		hs := &http.Server{Handler: sv.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		defer hs.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(w, "=== serve load sweep (in-process setcontaind, |D|=%d, sharded) ===\n", d.Len())
+	} else {
+		fmt.Fprintf(w, "=== serve load sweep (live server %s) ===\n", base)
+	}
+
+	gen := workload.NewGenerator(d, cfg.Seed+2000)
+	queries, err := MixedQueries(gen, 4, cfg.QueriesPerSize)
+	if err != nil {
+		return ServeResult{}, err
+	}
+	if len(queries) == 0 {
+		return ServeResult{}, fmt.Errorf("experiments: no queries at scale %g", cfg.Scale)
+	}
+	// Single-query request bodies, premarshalled: the load loop then
+	// measures the service, not the generator.
+	bodies := make([][]byte, len(queries))
+	for i, q := range queries {
+		body, err := json.Marshal(serve.QueryRequest{Queries: []serve.QuerySpec{serve.SpecOf(q)}})
+		if err != nil {
+			return ServeResult{}, err
+		}
+		bodies[i] = body
+	}
+
+	httpc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        maxClients * 2,
+		MaxIdleConnsPerHost: maxClients * 2,
+	}}
+	defer httpc.CloseIdleConnections()
+
+	if err := probeHealth(httpc, base); err != nil {
+		return ServeResult{}, err
+	}
+
+	const rounds = 10
+	res := ServeResult{Addr: base}
+	for clients := 1; clients <= maxClients; clients *= 2 {
+		pt, err := driveClients(httpc, base, bodies, clients, rounds)
+		if err != nil {
+			return ServeResult{}, err
+		}
+		res.Points = append(res.Points, pt)
+		fmt.Fprintf(w, "clients=%2d  elapsed=%-12s %8.0f qps  p50=%-10s p90=%-10s p99=%s\n",
+			pt.Clients, pt.Elapsed.Round(time.Microsecond), pt.QPS,
+			pt.P50.Round(time.Microsecond), pt.P90.Round(time.Microsecond), pt.P99.Round(time.Microsecond))
+	}
+
+	st, err := fetchStats(httpc, base)
+	if err != nil {
+		return ServeResult{}, err
+	}
+	res.MeanBatch = st.Batcher.MeanBatch
+	res.Pending = st.Batcher.Pending
+	res.Rejected = st.Batcher.Rejected
+	res.DecodedHitRate = st.Store.DecodedHitRate
+	fmt.Fprintf(w, "server: mean batch %.2f (histogram %v), rejected %d, decoded hit rate %.2f\n",
+		st.Batcher.MeanBatch, compactHist(st.Batcher.BatchSizes), st.Batcher.Rejected, st.Store.DecodedHitRate)
+	return res, nil
+}
+
+// driveClients replays the request bodies rounds times, sharded across
+// clients concurrent goroutines, and collects per-request latency.
+func driveClients(httpc *http.Client, base string, bodies [][]byte, clients, rounds int) (ServePoint, error) {
+	perClient := make([][]time.Duration, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, rounds*len(bodies)/clients+1)
+			for r := 0; r < rounds; r++ {
+				for i := c; i < len(bodies); i += clients {
+					t0 := time.Now()
+					resp, err := httpc.Post(base+"/query", "application/json", bytes.NewReader(bodies[i]))
+					if err != nil {
+						errs[c] = err
+						return
+					}
+					_, cerr := io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if cerr != nil {
+						errs[c] = cerr
+						return
+					}
+					if resp.StatusCode == http.StatusTooManyRequests {
+						continue // shed under overload: not a latency sample
+					}
+					if resp.StatusCode != http.StatusOK {
+						errs[c] = fmt.Errorf("experiments: serve returned status %d", resp.StatusCode)
+						return
+					}
+					lat = append(lat, time.Since(t0))
+				}
+			}
+			perClient[c] = lat
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return ServePoint{}, err
+		}
+	}
+	var all []time.Duration
+	for _, lat := range perClient {
+		all = append(all, lat...)
+	}
+	if len(all) == 0 {
+		return ServePoint{}, fmt.Errorf("experiments: every request was shed at %d clients", clients)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return ServePoint{
+		Clients: clients,
+		Queries: len(all),
+		Elapsed: elapsed,
+		QPS:     float64(len(all)) / elapsed.Seconds(),
+		P50:     percentile(all, 0.50),
+		P90:     percentile(all, 0.90),
+		P99:     percentile(all, 0.99),
+	}, nil
+}
+
+// percentile returns the p-quantile of the ascending latency samples.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// probeHealth fails fast when the target server is absent or serving a
+// different API.
+func probeHealth(httpc *http.Client, base string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return fmt.Errorf("experiments: probing %s: %w", base, err)
+	}
+	defer resp.Body.Close()
+	var h serve.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil || !h.OK {
+		return fmt.Errorf("experiments: %s/healthz not healthy (err %v)", base, err)
+	}
+	return nil
+}
+
+// fetchStats retrieves the server's /stats snapshot.
+func fetchStats(httpc *http.Client, base string) (serve.StatsResponse, error) {
+	resp, err := httpc.Get(base + "/stats")
+	if err != nil {
+		return serve.StatsResponse{}, err
+	}
+	defer resp.Body.Close()
+	var st serve.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return serve.StatsResponse{}, err
+	}
+	return st, nil
+}
+
+// compactHist renders a batch-size histogram as size:count pairs,
+// skipping empty buckets.
+func compactHist(sizes []int64) string {
+	var b bytes.Buffer
+	b.WriteByte('[')
+	first := true
+	for i, n := range sizes {
+		if n == 0 {
+			continue
+		}
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d:%d", i+1, n)
+	}
+	b.WriteByte(']')
+	return b.String()
+}

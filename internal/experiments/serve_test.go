@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunServe exercises the serving-layer load sweep end-to-end at
+// tiny scale: an in-process server over a sharded synthetic dataset,
+// concurrent HTTP clients, and a /stats readback.
+func TestRunServe(t *testing.T) {
+	var out bytes.Buffer
+	cfg := tinyConfig(&out)
+	res, err := RunServe(cfg, 4, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 { // clients 1, 2, 4
+		t.Fatalf("%d sweep points, want 3", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.Queries == 0 || pt.QPS <= 0 {
+			t.Errorf("clients=%d: empty point %+v", pt.Clients, pt)
+		}
+		if pt.P50 <= 0 || pt.P99 < pt.P50 {
+			t.Errorf("clients=%d: implausible latencies p50=%v p99=%v", pt.Clients, pt.P50, pt.P99)
+		}
+	}
+	if res.MeanBatch < 1 {
+		t.Errorf("mean batch %.2f, want >= 1", res.MeanBatch)
+	}
+	if !strings.Contains(out.String(), "serve load sweep") {
+		t.Errorf("report missing header:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "mean batch") {
+		t.Errorf("report missing stats line:\n%s", out.String())
+	}
+}
+
+// TestRunServeBadAddr pins the fail-fast path for an absent server.
+func TestRunServeBadAddr(t *testing.T) {
+	var out bytes.Buffer
+	cfg := tinyConfig(&out)
+	if _, err := RunServe(cfg, 1, "http://127.0.0.1:1"); err == nil {
+		t.Fatal("no error probing an unreachable server")
+	}
+}

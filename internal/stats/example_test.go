@@ -1,0 +1,34 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Example profiles a skewed record stream and shows the resulting
+// engine plan: the fitted exponent crosses the skew threshold, so the
+// planner picks the paper's Ordered Inverted File.
+func Example() {
+	coll := stats.NewCollector(100)
+	// A heavily skewed stream: item 0 appears in every record, item 1
+	// in half, the tail items once each.
+	for i := 0; i < 64; i++ {
+		set := []uint32{0}
+		if i%2 == 0 {
+			set = append(set, 1)
+		}
+		set = append(set, uint32(2+i%32), uint32(34+i%64))
+		coll.Add(set)
+	}
+
+	profile := coll.Profile(4)
+	plan := profile.Plan()
+	fmt.Println("records:", profile.NumRecords)
+	fmt.Println("hottest support:", profile.MaxFreq)
+	fmt.Println("use OIF:", plan.UseOIF)
+	// Output:
+	// records: 64
+	// hottest support: 64
+	// use OIF: true
+}

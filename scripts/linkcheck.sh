@@ -1,0 +1,36 @@
+#!/bin/sh
+# linkcheck.sh — verify every relative markdown link in README.md,
+# docs/, and the example READMEs points at a file or directory that
+# exists. External (http/https/mailto) links are left to humans; CI
+# must not fail on a third party's outage. Exits non-zero listing every
+# broken link.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail=0
+for md in README.md docs/*.md examples/*/README.md; do
+    [ -f "$md" ] || continue
+    dir=$(dirname "$md")
+    # Extract ](target) link targets, one per line, tolerating several
+    # links per line.
+    targets=$(grep -o ']([^)]*)' "$md" 2>/dev/null | sed 's/^](//; s/)$//') || continue
+    for t in $targets; do
+        case "$t" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        # Strip an in-page anchor.
+        path=${t%%#*}
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "BROKEN: $md -> $t"
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "linkcheck: broken relative links found" >&2
+    exit 1
+fi
+echo "linkcheck: all relative links resolve"

@@ -27,6 +27,8 @@ const (
 	Sharded
 )
 
+// String returns the kind's conventional short name ("OIF", "IF",
+// "UBT", or "Sharded"), as the experiment reports print it.
 func (k Kind) String() string {
 	switch k {
 	case OIF:

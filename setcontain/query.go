@@ -86,6 +86,46 @@ func (q Query) String() string {
 	return b.String()
 }
 
+// ParseQuery parses the textual form produced by Query.String —
+// "subset{3 17 29}" — back into a Query, so the string form round-trips
+// and can serve as a compact wire format (the serve package's ?q=
+// parameter uses it). The predicate name is matched like ParsePredicate
+// (case-insensitively); items are decimal uint32s separated by spaces,
+// and "{}" denotes the empty query. Surrounding whitespace is ignored;
+// anything after the closing brace is an error.
+func ParseQuery(s string) (Query, error) {
+	trimmed := strings.TrimSpace(s)
+	open := strings.IndexByte(trimmed, '{')
+	if open < 0 || !strings.HasSuffix(trimmed, "}") {
+		return Query{}, fmt.Errorf("setcontain: query %q: want predicate{items...}", s)
+	}
+	pred, err := ParsePredicate(trimmed[:open])
+	if err != nil {
+		return Query{}, fmt.Errorf("setcontain: query %q: %w", s, err)
+	}
+	body := trimmed[open+1 : len(trimmed)-1]
+	if strings.ContainsAny(body, "{}") {
+		return Query{}, fmt.Errorf("setcontain: query %q: nested braces", s)
+	}
+	fields := strings.Fields(body)
+	items := make([]Item, 0, len(fields))
+	for _, f := range fields {
+		var it uint64
+		for i := 0; i < len(f); i++ {
+			d := f[i] - '0'
+			if d > 9 {
+				return Query{}, fmt.Errorf("setcontain: query %q: item %q is not a decimal uint32", s, f)
+			}
+			it = it*10 + uint64(d)
+			if it > 1<<32-1 {
+				return Query{}, fmt.Errorf("setcontain: query %q: item %q overflows uint32", s, f)
+			}
+		}
+		items = append(items, Item(it))
+	}
+	return Query{Pred: pred, Items: items}, nil
+}
+
 // Queryable is anything that answers the three containment predicates:
 // an Index, a Reader, or an Engine.
 type Queryable interface {

@@ -1,0 +1,350 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/setcontain"
+)
+
+// ErrSaturated reports that the batcher's admission bound
+// (Config.MaxPending queued queries) is reached; the server maps it to
+// HTTP 429. Callers should shed or retry with backoff rather than
+// block.
+var ErrSaturated = errors.New("serve: query queue saturated")
+
+// ErrClosed reports a query submitted to a closed batcher.
+var ErrClosed = errors.New("serve: batcher closed")
+
+// Config tunes the serving layer. The zero value selects the documented
+// defaults; Filled returns a copy with them applied.
+type Config struct {
+	// MaxBatch caps the queries coalesced into one dispatch through
+	// Store.ExecBatchAppend (default 64).
+	MaxBatch int
+	// MaxLinger bounds how long a dispatcher waits for more queries to
+	// join a non-full batch (default 500µs). Zero keeps the default;
+	// negative disables lingering — batches then form only from queries
+	// already queued.
+	MaxLinger time.Duration
+	// MaxPending bounds queued-but-undispatched queries; beyond it Do
+	// fails fast with ErrSaturated (default 4×MaxBatch).
+	MaxPending int
+	// Dispatchers is the number of concurrent batch executors, each
+	// driving one pooled Store reader at a time (default GOMAXPROCS).
+	// Fewer dispatchers under load mean larger batches.
+	Dispatchers int
+	// ChunkIDs caps the ids carried by one NDJSON response line
+	// (default 4096); smaller chunks flush sooner.
+	ChunkIDs int
+}
+
+// DefaultConfig is the zero Config with every default applied.
+func DefaultConfig() Config { return Config{}.Filled() }
+
+// Filled returns the config with unset fields replaced by their
+// documented defaults.
+func (c Config) Filled() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxLinger == 0 {
+		c.MaxLinger = 500 * time.Microsecond
+	}
+	if c.MaxLinger < 0 {
+		c.MaxLinger = 0
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = 4 * c.MaxBatch
+	}
+	if c.Dispatchers <= 0 {
+		c.Dispatchers = runtime.GOMAXPROCS(0)
+	}
+	if c.ChunkIDs <= 0 {
+		c.ChunkIDs = 4096
+	}
+	return c
+}
+
+// waiter carries one query through the batcher: the request fields its
+// submitter fills, and the result fields the dispatcher publishes
+// before signalling done. Waiters recycle through a sync.Pool, so the
+// warm path submits and completes queries without allocating.
+type waiter struct {
+	ctx context.Context
+	q   setcontain.Query
+	dst []uint32
+
+	out  []uint32
+	err  error
+	done chan struct{} // capacity 1; recycled with the waiter
+}
+
+func (w *waiter) reset() {
+	w.ctx, w.q, w.dst, w.out, w.err = nil, setcontain.Query{}, nil, nil, nil
+}
+
+// Batcher coalesces concurrent queries into micro-batches dispatched
+// through Store.ExecBatchAppend. Create one with NewBatcher; submit
+// with Do; stop with Close. All methods are safe for concurrent use.
+type Batcher struct {
+	store *setcontain.Store
+	cfg   Config
+
+	reqCh   chan *waiter
+	waiters sync.Pool
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+
+	queries  atomic.Int64
+	batches  atomic.Int64
+	rejected atomic.Int64
+	canceled atomic.Int64
+	hist     []atomic.Int64 // hist[i] counts dispatches of size i+1
+}
+
+// NewBatcher starts cfg.Dispatchers dispatcher goroutines over store.
+// Close releases them.
+func NewBatcher(store *setcontain.Store, cfg Config) *Batcher {
+	cfg = cfg.Filled()
+	b := &Batcher{
+		store: store,
+		cfg:   cfg,
+		reqCh: make(chan *waiter, cfg.MaxPending),
+		hist:  make([]atomic.Int64, cfg.MaxBatch),
+	}
+	b.ctx, b.cancel = context.WithCancel(context.Background())
+	b.wg.Add(cfg.Dispatchers)
+	for i := 0; i < cfg.Dispatchers; i++ {
+		go b.run()
+	}
+	return b
+}
+
+// Close stops the dispatchers, failing any still-queued queries with
+// ErrClosed, and waits for them to exit. Queries submitted after Close
+// fail with ErrClosed.
+func (b *Batcher) Close() {
+	b.closed.Store(true)
+	b.cancel()
+	b.wg.Wait()
+}
+
+// Do submits one query and blocks until its batch executes or ctx ends.
+// The answer is appended to dst and the extended slice returned, as by
+// Store.ExecAppend — but the execution is shared: the query rides
+// whatever micro-batch the dispatchers form around it.
+//
+// Ownership of dst transfers to the batcher for the duration of the
+// call, and the returned slice tells the caller whether it came back:
+// a non-nil return (every normal completion, including query errors —
+// the untouched dst is handed back then) supersedes dst and is the
+// caller's again; a nil return means Do gave up waiting (ctx ended, or
+// the batcher closed) while a dispatcher may still be writing into dst
+// — the buffer is forfeited and must not be reused.
+func (b *Batcher) Do(ctx context.Context, dst []uint32, q setcontain.Query) ([]uint32, error) {
+	if err := ctx.Err(); err != nil {
+		return dst, err
+	}
+	if b.closed.Load() {
+		return dst, ErrClosed
+	}
+	w, _ := b.waiters.Get().(*waiter)
+	if w == nil {
+		w = &waiter{done: make(chan struct{}, 1)}
+	}
+	w.ctx, w.q, w.dst = ctx, q, dst
+	select {
+	case b.reqCh <- w:
+	default:
+		w.reset()
+		b.waiters.Put(w)
+		b.rejected.Add(1)
+		return dst, ErrSaturated
+	}
+	select {
+	case <-w.done:
+		out, err := w.out, w.err
+		if out == nil {
+			// Failed item: the dispatcher never extended dst, so hand
+			// the caller's buffer back with the error.
+			out = dst
+		}
+		w.reset()
+		b.waiters.Put(w)
+		return out, err
+	case <-ctx.Done():
+		// The dispatcher still owns w (it will signal the buffered done
+		// channel into the void); the waiter and dst are forfeited.
+		b.canceled.Add(1)
+		return nil, ctx.Err()
+	case <-b.ctx.Done():
+		// Close raced an admitted query: a dispatcher may still be
+		// executing it against dst — forfeited, like the ctx path.
+		return nil, ErrClosed
+	}
+}
+
+// run is one dispatcher: collect a batch, execute it, publish results.
+func (b *Batcher) run() {
+	defer b.wg.Done()
+	batch := make([]*waiter, 0, b.cfg.MaxBatch)
+	items := make([]setcontain.BatchItem, b.cfg.MaxBatch)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		select {
+		case <-b.ctx.Done():
+			b.drain()
+			return
+		case w := <-b.reqCh:
+			batch = append(batch, w)
+		}
+		batch = b.fill(batch, timer)
+		b.exec(batch, items)
+		batch = batch[:0]
+	}
+}
+
+// fill gathers more queued queries into batch: everything immediately
+// available, then — if the batch is still short and lingering is on —
+// whatever arrives within MaxLinger.
+func (b *Batcher) fill(batch []*waiter, timer *time.Timer) []*waiter {
+	limit := b.cfg.MaxBatch
+	for len(batch) < limit {
+		select {
+		case w := <-b.reqCh:
+			batch = append(batch, w)
+			continue
+		default:
+		}
+		break
+	}
+	if len(batch) >= limit || b.cfg.MaxLinger <= 0 {
+		return batch
+	}
+	timer.Reset(b.cfg.MaxLinger)
+	for len(batch) < limit {
+		select {
+		case w := <-b.reqCh:
+			batch = append(batch, w)
+		case <-timer.C:
+			return batch // timer already drained
+		case <-b.ctx.Done():
+			break
+		}
+		if b.ctx.Err() != nil {
+			break
+		}
+	}
+	if !timer.Stop() {
+		select {
+		case <-timer.C:
+		default:
+		}
+	}
+	return batch
+}
+
+// exec dispatches the batch through Store.ExecBatchAppend and publishes
+// each waiter's result. items is the dispatcher's reusable BatchItem
+// arena.
+func (b *Batcher) exec(batch []*waiter, items []setcontain.BatchItem) {
+	n := len(batch)
+	if n == 0 {
+		return
+	}
+	for i, w := range batch {
+		items[i] = setcontain.BatchItem{Ctx: w.ctx, Query: w.q, Dst: w.dst}
+	}
+	processed, batchErr := b.store.ExecBatchAppend(b.ctx, items[:n])
+	if batchErr != nil && b.closed.Load() {
+		batchErr = ErrClosed
+	}
+	for i, w := range batch {
+		if i < processed {
+			w.out, w.err = items[i].Out, items[i].Err
+		} else {
+			w.out, w.err = nil, batchErr
+		}
+		items[i] = setcontain.BatchItem{} // drop buffer references
+		select {
+		case w.done <- struct{}{}:
+		default:
+		}
+	}
+	b.queries.Add(int64(n))
+	b.batches.Add(1)
+	b.hist[n-1].Add(1)
+}
+
+// drain fails every still-queued query with ErrClosed after Close.
+func (b *Batcher) drain() {
+	for {
+		select {
+		case w := <-b.reqCh:
+			w.out, w.err = nil, ErrClosed
+			select {
+			case w.done <- struct{}{}:
+			default:
+			}
+		default:
+			return
+		}
+	}
+}
+
+// BatcherStats is a snapshot of the batcher's dispatch behaviour; the
+// batch-size histogram is how a load test verifies coalescing actually
+// engages (a mean above 1 under concurrent traffic).
+type BatcherStats struct {
+	// Queries is the total queries dispatched (admitted and executed).
+	Queries int64
+	// Batches is the total dispatches; Queries/Batches is the mean
+	// batch size, also available as MeanBatch.
+	Batches int64
+	// Rejected counts queries refused at admission with ErrSaturated.
+	Rejected int64
+	// Canceled counts Do calls abandoned by their caller's context
+	// while queued or executing.
+	Canceled int64
+	// Pending is the queries queued awaiting dispatch at snapshot time
+	// (a gauge; admission refuses beyond Config.MaxPending).
+	Pending int
+	// BatchSizes is the dispatch histogram: BatchSizes[i] batches
+	// carried exactly i+1 queries.
+	BatchSizes []int64
+}
+
+// MeanBatch returns the mean queries per dispatch, 0 before the first.
+func (s BatcherStats) MeanBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Queries) / float64(s.Batches)
+}
+
+// Stats returns a consistent-enough snapshot of the counters (each
+// counter is read atomically; the set is not a single atomic cut).
+func (b *Batcher) Stats() BatcherStats {
+	st := BatcherStats{
+		Queries:    b.queries.Load(),
+		Batches:    b.batches.Load(),
+		Rejected:   b.rejected.Load(),
+		Canceled:   b.canceled.Load(),
+		Pending:    len(b.reqCh),
+		BatchSizes: make([]int64, len(b.hist)),
+	}
+	for i := range b.hist {
+		st.BatchSizes[i] = b.hist[i].Load()
+	}
+	return st
+}

@@ -1,0 +1,27 @@
+// Package serve turns a setcontain.Store into a long-lived HTTP/JSON
+// query service — the serving layer behind cmd/setcontaind.
+//
+// The centrepiece is the Batcher: concurrent incoming queries coalesce
+// into micro-batches (bounded by Config.MaxBatch, gathered for at most
+// Config.MaxLinger) that dispatch through Store.ExecBatchAppend, so
+// fan-in traffic shares pooled readers, warm caches, and scratch arenas
+// instead of each request paying its own. This is exactly where the
+// paper's skew argument pays off at the serving tier: the hottest
+// inverted lists decode once per batch rather than once per query.
+//
+// A Server wraps the batcher with HTTP handlers:
+//
+//	POST /query    — batch of queries in, NDJSON answer chunks out
+//	GET  /query    — single query via ?q=subset{3 17} (setcontain.ParseQuery)
+//	GET  /stream   — one query streamed chunk-by-chunk with flushes
+//	GET  /stats    — batcher histogram, store cache counters, shard plans
+//	GET  /healthz  — liveness plus index identity
+//
+// Answers stream as NDJSON chunks backed by the iter.Seq variants, so a
+// huge answer set never materializes in the response path. Admission is
+// bounded: when Config.MaxPending queries are already queued, new ones
+// are refused with ErrSaturated (HTTP 429) instead of growing an
+// unbounded backlog, and every request's context deadline propagates
+// into the Store's interrupt hook, so a disconnected or expired client
+// stops its query mid-scan.
+package serve

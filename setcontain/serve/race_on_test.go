@@ -1,0 +1,8 @@
+//go:build race
+
+package serve_test
+
+// raceEnabled reports that the race detector is instrumenting this
+// build; allocation-count assertions are skipped because the detector
+// itself allocates.
+const raceEnabled = true

@@ -1,0 +1,326 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"iter"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/setcontain"
+)
+
+// maxRequestBytes bounds a POST /query body; a request this size is
+// thousands of queries, far beyond what one batch round-trip should
+// carry.
+const maxRequestBytes = 8 << 20
+
+// Server is the HTTP face of a Store: a Batcher plus the handlers
+// described in the package documentation. Create one with NewServer,
+// mount Handler on any mux or http.Server, and Close when done.
+type Server struct {
+	idx     *setcontain.Index
+	store   *setcontain.Store
+	batcher *Batcher
+	cfg     Config
+	start   time.Time
+
+	bufs sync.Pool // *[]uint32 answer buffers, recycled across requests
+
+	streamsServed  atomic.Int64
+	streamsAborted atomic.Int64
+}
+
+// NewServer wraps idx and its store in a serving layer configured by
+// cfg (zero value for defaults). The store must serve the same index;
+// the server uses idx only for identity ( /healthz, shard plans) and
+// routes every query through store. Close stops the dispatchers.
+func NewServer(idx *setcontain.Index, store *setcontain.Store, cfg Config) *Server {
+	cfg = cfg.Filled()
+	return &Server{
+		idx:     idx,
+		store:   store,
+		batcher: NewBatcher(store, cfg),
+		cfg:     cfg,
+		start:   time.Now(),
+	}
+}
+
+// Batcher exposes the server's batcher (load tests assert on its
+// statistics directly).
+func (s *Server) Batcher() *Batcher { return s.batcher }
+
+// Close stops the batcher's dispatchers. In-flight requests fail with
+// ErrClosed; the HTTP listener (owned by the caller) is unaffected.
+func (s *Server) Close() { s.batcher.Close() }
+
+// Handler returns the route mux:
+//
+//	POST /query, GET /query?q=…, GET /stream?q=…, GET /stats, GET /healthz
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/stream", s.handleStream)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// getBuf borrows an answer buffer; putBuf returns it. Buffers forfeited
+// to an abandoned batch are simply not returned.
+func (s *Server) getBuf() []uint32 {
+	if p, _ := s.bufs.Get().(*[]uint32); p != nil {
+		return (*p)[:0]
+	}
+	return make([]uint32, 0, 1024)
+}
+
+func (s *Server) putBuf(buf []uint32) { s.bufs.Put(&buf) }
+
+// parseRequest extracts the request's queries: the JSON body on POST,
+// the ?q= textual form on GET.
+func parseRequest(r *http.Request) ([]setcontain.Query, error) {
+	switch r.Method {
+	case http.MethodPost:
+		var req QueryRequest
+		dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxRequestBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return nil, fmt.Errorf("serve: decoding request: %w", err)
+		}
+		if len(req.Queries) == 0 {
+			return nil, errors.New("serve: request carries no queries")
+		}
+		qs := make([]setcontain.Query, len(req.Queries))
+		for i, spec := range req.Queries {
+			q, err := spec.Query()
+			if err != nil {
+				return nil, fmt.Errorf("serve: query %d: %w", i, err)
+			}
+			qs[i] = q
+		}
+		return qs, nil
+	case http.MethodGet:
+		q, err := setcontain.ParseQuery(r.URL.Query().Get("q"))
+		if err != nil {
+			return nil, err
+		}
+		return []setcontain.Query{q}, nil
+	default:
+		return nil, fmt.Errorf("serve: method %s not allowed", r.Method)
+	}
+}
+
+// handleQuery answers a batch of queries through the batcher, streaming
+// NDJSON result chunks in query order.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	qs, err := parseRequest(r)
+	if err != nil {
+		status := http.StatusBadRequest
+		if r.Method != http.MethodGet && r.Method != http.MethodPost {
+			status = http.StatusMethodNotAllowed
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	ctx := r.Context()
+	enc := json.NewEncoder(w)
+	started := false
+	for i, q := range qs {
+		// Buffer ownership follows Do's contract: a non-nil out is ours
+		// to recycle, a nil out is forfeited to a live dispatcher.
+		out, err := s.batcher.Do(ctx, s.getBuf(), q)
+		switch {
+		case err == nil:
+			if !started {
+				started = true
+				w.Header().Set("Content-Type", "application/x-ndjson")
+			}
+			werr := s.writeIDs(ctx, enc, i, out)
+			s.putBuf(out)
+			if werr != nil {
+				return // client gone; remaining queries were never admitted
+			}
+		case errors.Is(err, ErrSaturated) && !started:
+			// Nothing written yet: refuse the whole request so the
+			// client retries with backoff.
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			s.putBuf(out)
+			return
+		case ctx.Err() != nil:
+			// Client disconnected or deadline passed; the buffer may
+			// still be owned by a dispatcher — forfeited.
+			return
+		default:
+			if !started {
+				started = true
+				w.Header().Set("Content-Type", "application/x-ndjson")
+			}
+			if werr := enc.Encode(Result{Query: i, Done: true, Error: err.Error()}); werr != nil {
+				return
+			}
+			if out != nil {
+				s.putBuf(out)
+			}
+		}
+	}
+}
+
+// writeIDs streams one query's materialized answer as NDJSON chunks of
+// at most cfg.ChunkIDs ids, honouring ctx between chunks.
+func (s *Server) writeIDs(ctx context.Context, enc *json.Encoder, query int, ids []uint32) error {
+	chunk := s.cfg.ChunkIDs
+	total := len(ids)
+	for len(ids) > chunk {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := enc.Encode(Result{Query: query, IDs: ids[:chunk], More: true}); err != nil {
+			return err
+		}
+		ids = ids[chunk:]
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return enc.Encode(Result{Query: query, IDs: ids, Done: true, Count: total})
+}
+
+// handleStream answers one ?q= query through the Store's iter.Seq
+// streaming variant, flushing each NDJSON chunk as it forms: the
+// response path holds at most one chunk of ids as JSON, so the client
+// can consume arbitrarily large answers incrementally. (The current
+// engines still compute the full answer slice before the sequence
+// yields — see Index.SubsetSeq for that contract; the handler inherits
+// engine-side streaming the day an engine provides it.) A client that
+// disconnects cancels the request context, which interrupts the Store
+// execution between list-block reads while the query is running and
+// stops the chunk loop once streaming has begun.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "serve: GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	q, err := setcontain.ParseQuery(r.URL.Query().Get("q"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx := r.Context()
+	seq, err := s.store.ExecSeq(ctx, q)
+	if err != nil {
+		if ctx.Err() != nil {
+			s.streamsAborted.Add(1)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	if err := s.streamSeq(ctx, w, flusher, seq); err != nil {
+		s.streamsAborted.Add(1)
+		return
+	}
+	s.streamsServed.Add(1)
+}
+
+// streamSeq consumes seq in cfg.ChunkIDs-sized chunks, encoding and
+// flushing each as an NDJSON line.
+func (s *Server) streamSeq(ctx context.Context, w http.ResponseWriter, flusher http.Flusher, seq iter.Seq[uint32]) error {
+	enc := json.NewEncoder(w)
+	buf := make([]uint32, 0, s.cfg.ChunkIDs)
+	count := 0
+	var werr error
+	flush := func(more bool) bool {
+		if werr = ctx.Err(); werr != nil {
+			return false
+		}
+		res := Result{IDs: buf, More: more}
+		if !more {
+			res.Done, res.Count = true, count
+		}
+		if werr = enc.Encode(res); werr != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		buf = buf[:0]
+		return true
+	}
+	for id := range seq {
+		buf = append(buf, id)
+		count++
+		if len(buf) == cap(buf) && !flush(true) {
+			return werr
+		}
+	}
+	if !flush(false) {
+		return werr
+	}
+	return nil
+}
+
+// handleStats reports the serving-side counters; see StatsResponse.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	bst := s.batcher.Stats()
+	sst := s.store.Stats()
+	resp := StatsResponse{
+		Batcher: BatcherStatsJSON{
+			Queries:    bst.Queries,
+			Batches:    bst.Batches,
+			MeanBatch:  bst.MeanBatch(),
+			Rejected:   bst.Rejected,
+			Canceled:   bst.Canceled,
+			Pending:    bst.Pending,
+			BatchSizes: bst.BatchSizes,
+		},
+		Store: StoreStatsJSON{
+			CacheHits:      sst.Cache.Hits,
+			PageReads:      sst.Cache.PageReads,
+			DecodedHits:    sst.Decoded.Hits,
+			DecodedMisses:  sst.Decoded.Misses,
+			DecodedHitRate: sst.Decoded.HitRate(),
+		},
+		Streams: StreamStatsJSON{
+			Served:  s.streamsServed.Load(),
+			Aborted: s.streamsAborted.Load(),
+		},
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	for _, p := range setcontain.ShardPlans(s.idx.Engine()) {
+		resp.ShardPlans = append(resp.ShardPlans, ShardPlanJSON{
+			Shard:         p.Shard,
+			Kind:          p.Kind.String(),
+			Records:       p.Records,
+			Theta:         p.Theta,
+			BlockPostings: p.BlockPostings,
+		})
+	}
+	writeJSON(w, resp)
+}
+
+// handleHealthz reports liveness plus the served index's identity.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, HealthResponse{
+		OK:      true,
+		Kind:    s.idx.Kind().String(),
+		Records: s.idx.NumRecords(),
+		Domain:  s.idx.Engine().DomainSize(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

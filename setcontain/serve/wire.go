@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/setcontain"
+)
+
+// The wire types are the service's JSON vocabulary. Requests carry
+// queries in the same textual vocabulary as the CLIs — predicate names
+// from Predicate.String, items as decimal uint32s — so
+// setcontain.ParsePredicate / setcontain.ParseQuery are the single
+// parsing authority on both the library and wire paths.
+
+// QueryRequest is the POST /query body: the queries to answer, in
+// order. Answers stream back as Result lines keyed by query index.
+type QueryRequest struct {
+	Queries []QuerySpec `json:"queries"`
+}
+
+// QuerySpec is one query on the wire: a predicate name ("subset",
+// "equality", or "superset", as Predicate.String spells them) plus the
+// query items.
+type QuerySpec struct {
+	Pred  string            `json:"pred"`
+	Items []setcontain.Item `json:"items"`
+}
+
+// Query converts the spec to a setcontain.Query, validating the
+// predicate name.
+func (qs QuerySpec) Query() (setcontain.Query, error) {
+	pred, err := setcontain.ParsePredicate(qs.Pred)
+	if err != nil {
+		return setcontain.Query{}, fmt.Errorf("serve: %w", err)
+	}
+	return setcontain.Query{Pred: pred, Items: qs.Items}, nil
+}
+
+// SpecOf renders a setcontain.Query as its wire spec.
+func SpecOf(q setcontain.Query) QuerySpec {
+	return QuerySpec{Pred: q.Pred.String(), Items: q.Items}
+}
+
+// Result is one NDJSON response line. A query's answer arrives as zero
+// or more chunk lines (More true) followed by one final line (Done
+// true) carrying the total count — so clients consume arbitrarily large
+// answers without either side materializing them. Error lines are
+// final lines with Error set.
+type Result struct {
+	// Query is the index of the answered query in the request.
+	Query int `json:"query"`
+	// IDs is this chunk's slice of the ascending answer ids.
+	IDs []uint32 `json:"ids,omitempty"`
+	// More marks a non-final chunk: further lines follow for this query.
+	More bool `json:"more,omitempty"`
+	// Done marks the query's final line.
+	Done bool `json:"done,omitempty"`
+	// Count is the total ids answered; meaningful on the final line
+	// (always present there, including 0 for an empty answer) and 0 on
+	// chunk lines.
+	Count int `json:"count"`
+	// Error is the query's error, set on the final line when it failed.
+	Error string `json:"error,omitempty"`
+}
+
+// HealthResponse is the GET /healthz body.
+type HealthResponse struct {
+	OK      bool   `json:"ok"`
+	Kind    string `json:"kind"`    // engine kind serving the index
+	Records int    `json:"records"` // indexed records
+	Domain  int    `json:"domain"`  // vocabulary size
+}
+
+// StatsResponse is the GET /stats body: everything a load test or
+// operator needs to see whether batching and the caches are doing
+// their jobs.
+type StatsResponse struct {
+	// Batcher is the dispatch behaviour, including the batch-size
+	// histogram and its mean.
+	Batcher BatcherStatsJSON `json:"batcher"`
+	// Store aggregates the pooled readers' page-cache and
+	// decoded-cache counters.
+	Store StoreStatsJSON `json:"store"`
+	// ShardPlans lists the per-shard planning decisions of a sharded
+	// engine (absent otherwise).
+	ShardPlans []ShardPlanJSON `json:"shard_plans,omitempty"`
+	// Streams counts GET /stream requests served and aborted
+	// (client disconnect or error mid-stream).
+	Streams StreamStatsJSON `json:"streams"`
+	// UptimeSeconds is the seconds since the server was created.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// BatcherStatsJSON mirrors BatcherStats on the wire, with the mean
+// precomputed.
+type BatcherStatsJSON struct {
+	Queries    int64   `json:"queries"`
+	Batches    int64   `json:"batches"`
+	MeanBatch  float64 `json:"mean_batch"`
+	Rejected   int64   `json:"rejected"`
+	Canceled   int64   `json:"canceled"`
+	Pending    int     `json:"pending"`
+	BatchSizes []int64 `json:"batch_sizes"`
+}
+
+// StoreStatsJSON mirrors setcontain.StoreStats on the wire.
+type StoreStatsJSON struct {
+	CacheHits      int64   `json:"cache_hits"`
+	PageReads      int64   `json:"page_reads"`
+	DecodedHits    int64   `json:"decoded_hits"`
+	DecodedMisses  int64   `json:"decoded_misses"`
+	DecodedHitRate float64 `json:"decoded_hit_rate"`
+}
+
+// ShardPlanJSON mirrors setcontain.ShardPlan on the wire.
+type ShardPlanJSON struct {
+	Shard         int     `json:"shard"`
+	Kind          string  `json:"kind"`
+	Records       int     `json:"records"`
+	Theta         float64 `json:"theta"`
+	BlockPostings int     `json:"block_postings,omitempty"`
+}
+
+// StreamStatsJSON counts the /stream endpoint's outcomes.
+type StreamStatsJSON struct {
+	Served  int64 `json:"served"`
+	Aborted int64 `json:"aborted"`
+}

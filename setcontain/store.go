@@ -30,13 +30,63 @@ type Store struct {
 	cachePages int
 	gen        atomic.Uint64
 	readers    sync.Pool // of *storeReader
+
+	// Aggregate statistics over all pooled readers, accumulated at
+	// release time (see storeReader's last* snapshots). Per-field
+	// atomics keep the per-query release path free of a store-wide
+	// lock; /stats-style readers tolerate the fields being read
+	// without a single atomic cut.
+	totals storeCounters
+}
+
+// storeCounters is the lock-free accumulator behind Store.Stats.
+type storeCounters struct {
+	cacheHits, pageReads, seqReads, nearReads, randReads atomic.Int64
+
+	decHits, decMisses, decAdmitted, decRejected, decEvicted atomic.Int64
+	// Gauges: the most recently released reader's observation.
+	decPostings, decCapacity atomic.Int64
 }
 
 // storeReader tags a pooled reader with the store generation it was
-// created under, so Refresh can retire stale snapshots lazily.
+// created under, so Refresh can retire stale snapshots lazily. The
+// last* fields snapshot the reader's cumulative statistics at its
+// previous release, so each release folds only the delta of the query
+// it just served into the store-wide totals.
 type storeReader struct {
-	r   *Reader
-	gen uint64
+	r           *Reader
+	gen         uint64
+	lastCache   CacheStats
+	lastDecoded DecodedCacheStats
+
+	// Cancellation state consulted by hook: batch spans a whole
+	// Exec/ExecBatchAppend call, item narrows to the query currently
+	// executing. hook is created once per storeReader and reused, so
+	// arming cancellation on the hot path allocates nothing.
+	batch context.Context
+	item  context.Context
+	hook  func() error
+}
+
+// arm installs the reader's reusable interrupt hook scoped to batch
+// (and initially item = batch); ExecBatchAppend narrows item per query.
+// disarm clears the hook and drops the context references.
+func (e *storeReader) arm(batch context.Context) {
+	if e.hook == nil {
+		e.hook = func() error {
+			if err := e.batch.Err(); err != nil {
+				return err
+			}
+			return e.item.Err()
+		}
+	}
+	e.batch, e.item = batch, batch
+	e.r.setInterrupt(e.hook)
+}
+
+func (e *storeReader) disarm() {
+	e.r.setInterrupt(nil)
+	e.batch, e.item = nil, nil
 }
 
 // NewStore returns a store over ix whose pooled readers each carry a
@@ -76,9 +126,73 @@ func (s *Store) acquire() (*storeReader, error) {
 }
 
 func (s *Store) release(e *storeReader) {
-	e.r.setInterrupt(nil)
+	e.disarm()
+	s.accumulate(e)
 	if e.gen == s.gen.Load() {
 		s.readers.Put(e)
+	}
+}
+
+// accumulate folds the reader's statistics delta since its previous
+// release into the store-wide totals. Counters are summed as deltas;
+// the decoded cache's Postings/Capacity gauges are tracked as the
+// most recent observation (readers of one store share a configuration,
+// so any reader's gauge is representative).
+func (s *Store) accumulate(e *storeReader) {
+	cache := e.r.CacheStats()
+	decoded := e.r.DecodedCacheStats()
+	t := &s.totals
+	t.cacheHits.Add(cache.Hits - e.lastCache.Hits)
+	t.pageReads.Add(cache.PageReads - e.lastCache.PageReads)
+	t.seqReads.Add(cache.Sequential - e.lastCache.Sequential)
+	t.nearReads.Add(cache.Near - e.lastCache.Near)
+	t.randReads.Add(cache.Random - e.lastCache.Random)
+	t.decHits.Add(decoded.Hits - e.lastDecoded.Hits)
+	t.decMisses.Add(decoded.Misses - e.lastDecoded.Misses)
+	t.decAdmitted.Add(decoded.Admitted - e.lastDecoded.Admitted)
+	t.decRejected.Add(decoded.Rejected - e.lastDecoded.Rejected)
+	t.decEvicted.Add(decoded.Evicted - e.lastDecoded.Evicted)
+	t.decPostings.Store(int64(decoded.Postings))
+	t.decCapacity.Store(int64(decoded.Capacity))
+	e.lastCache = cache
+	e.lastDecoded = decoded
+}
+
+// StoreStats aggregates the I/O and decoded-cache statistics of every
+// reader a Store has pooled, the serving-side counterpart of
+// Index.CacheStats (which reports the engine's own single-stream pool).
+type StoreStats struct {
+	// Cache is the summed page-cache behaviour of the pooled readers.
+	Cache CacheStats
+	// Decoded is the summed decoded-block cache behaviour; its
+	// Postings/Capacity gauges reflect the most recently released
+	// reader rather than a sum.
+	Decoded DecodedCacheStats
+}
+
+// Stats returns statistics aggregated across all pooled readers. Totals
+// advance when a query's reader is released, so in-flight queries
+// contribute after they finish. Each field is read atomically; the
+// snapshot as a whole is not one atomic cut.
+func (s *Store) Stats() StoreStats {
+	t := &s.totals
+	return StoreStats{
+		Cache: CacheStats{
+			Hits:       t.cacheHits.Load(),
+			PageReads:  t.pageReads.Load(),
+			Sequential: t.seqReads.Load(),
+			Near:       t.nearReads.Load(),
+			Random:     t.randReads.Load(),
+		},
+		Decoded: DecodedCacheStats{
+			Hits:     t.decHits.Load(),
+			Misses:   t.decMisses.Load(),
+			Admitted: t.decAdmitted.Load(),
+			Rejected: t.decRejected.Load(),
+			Evicted:  t.decEvicted.Load(),
+			Postings: int(t.decPostings.Load()),
+			Capacity: int(t.decCapacity.Load()),
+		},
 	}
 }
 
@@ -96,7 +210,7 @@ func (s *Store) Exec(ctx context.Context, q Query) ([]uint32, error) {
 	}
 	defer s.release(e)
 	if ctx.Done() != nil {
-		e.r.setInterrupt(ctx.Err)
+		e.arm(ctx)
 	}
 	return q.Eval(e.r)
 }
@@ -117,7 +231,7 @@ func (s *Store) ExecAppend(ctx context.Context, dst []uint32, q Query) ([]uint32
 	}
 	defer s.release(e)
 	if ctx.Done() != nil {
-		e.r.setInterrupt(ctx.Err)
+		e.arm(ctx)
 	}
 	return e.r.EvalAppend(dst, q)
 }
@@ -192,4 +306,83 @@ func (s *Store) ExecBatch(ctx context.Context, qs []Query) ([][]uint32, error) {
 		return nil, firstErr
 	}
 	return out, nil
+}
+
+// BatchItem is one query of an ExecBatchAppend call: the query, its
+// caller-owned append target, and (after the call) its answer or error.
+type BatchItem struct {
+	// Ctx optionally scopes this item alone: a cancelled or expired
+	// per-item context fails the item with its error without disturbing
+	// the rest of the batch. Nil means the batch context governs.
+	Ctx context.Context
+	// Query is the containment query to answer.
+	Query Query
+	// Dst is the append target; the answer is appended to it, and the
+	// extended slice is returned in Out. The caller owns Dst throughout.
+	Dst []uint32
+	// Out receives the extended Dst slice on success, nil on error.
+	Out []uint32
+	// Err receives this item's error: nil, the per-item context's
+	// error, or the engine's query error.
+	Err error
+}
+
+// ExecBatchAppend answers the items sequentially on a single pooled
+// reader — the arena-friendly fan-in entry point the serve package's
+// micro-batcher dispatches through. Where ExecBatch spreads a batch
+// across readers for parallelism, ExecBatchAppend deliberately shares
+// one: the reader is acquired once, every query reuses its scratch
+// arenas and warm page/decoded caches (hot lists decode once per batch,
+// not once per query), and answers append into the caller-owned Dst
+// slices, so a steady-state batch over a warm OIF store performs no
+// heap allocations at all.
+//
+// Per-item results land in items[i].Out / items[i].Err; a failed item
+// does not disturb its batchmates. The returned count is how many items
+// were processed: it is len(items) unless the batch context ctx is
+// cancelled mid-batch, in which case processing stops, the remaining
+// items are left untouched, and ctx's error is returned. A non-nil
+// item Ctx additionally scopes that item alone — its deadline reaches
+// the reader's interrupt hook, so even an item mid-way through a long
+// list scan stops promptly with items[i].Err = item ctx's error.
+func (s *Store) ExecBatchAppend(ctx context.Context, items []BatchItem) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if len(items) == 0 {
+		return 0, nil
+	}
+	e, err := s.acquire()
+	if err != nil {
+		return 0, err
+	}
+	defer s.release(e)
+	// The reader's single reusable interrupt hook serves the whole
+	// batch: it consults the batch context plus whichever item is
+	// currently executing, so cancellation support costs two pointer
+	// reads per page access and no per-item closures.
+	armed := false
+	for i := range items {
+		if err := ctx.Err(); err != nil {
+			return i, err
+		}
+		it := &items[i]
+		ictx := it.Ctx
+		if ictx == nil {
+			ictx = ctx
+		}
+		if err := ictx.Err(); err != nil {
+			it.Out, it.Err = nil, err
+			continue
+		}
+		if !armed && (ictx.Done() != nil || ctx.Done() != nil) {
+			armed = true
+			e.arm(ctx)
+		}
+		if armed {
+			e.item = ictx
+		}
+		it.Out, it.Err = e.r.EvalAppend(it.Dst, it.Query)
+	}
+	return len(items), nil
 }
