@@ -5,7 +5,7 @@ GOLANGCI ?= golangci-lint
 COVER_FLOOR ?= 75
 COVER_PKGS = ./setcontain/... ./internal/stats/...
 
-.PHONY: all build vet test bench bench-baseline bench-compare lint cover check linkcheck vet-examples serve
+.PHONY: all build vet test bench bench-baseline bench-compare lint cover check linkcheck vet-examples serve snapshot-smoke
 
 all: check
 
@@ -71,6 +71,12 @@ vet-examples:
 # Serve a demo dataset locally (see cmd/setcontaind -help for flags).
 serve:
 	$(GO) run ./cmd/setcontaind -synthetic 100000 -index sharded
+
+# Durability end-to-end: build a synthetic index, snapshot, restore, and
+# verify the restored instance's answer digest matches — per engine kind,
+# clean and with pending inserts + tombstones. The CI matrix runs this.
+snapshot-smoke:
+	./scripts/snapshot-smoke.sh
 
 cover:
 	$(GO) test -coverprofile=coverage.out $(COVER_PKGS)

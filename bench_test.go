@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
@@ -350,6 +351,68 @@ func BenchmarkShardedBuild(b *testing.B) {
 					setcontain.WithShards(shards),
 					setcontain.WithBuildParallelism(shards),
 				); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Durability: snapshot save and restore ------------------------------
+
+// BenchmarkSnapshotRestore measures the warm-boot path per engine kind:
+// Open-ing a snapshot container back into a queryable index. Besides
+// ns/op it reports the snapshot footprint ("snapshot_bytes") and the
+// restore time in milliseconds ("restore_ms/op") — the metric benchjson
+// carries into the per-SHA artifacts, so restore-time regressions gate
+// like query-time ones.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	cfg := benchCfg()
+	d, err := dataset.GenerateSynthetic(cfg.SyntheticDefaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, kind := range []setcontain.Kind{setcontain.OIF, setcontain.InvertedFile, setcontain.Sharded} {
+		b.Run(kind.String(), func(b *testing.B) {
+			idx, err := setcontain.New(setcontain.WrapDataset(d), setcontain.WithKind(kind))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var snap bytes.Buffer
+			if err := idx.Save(&snap); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(snap.Len()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := setcontain.Open(bytes.NewReader(snap.Bytes())); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(snap.Len()), "snapshot_bytes")
+			b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(b.N), "restore_ms/op")
+		})
+	}
+}
+
+// BenchmarkSnapshotSave measures producing the container (the
+// POST /admin/snapshot hot path) against a discarding writer.
+func BenchmarkSnapshotSave(b *testing.B) {
+	cfg := benchCfg()
+	d, err := dataset.GenerateSynthetic(cfg.SyntheticDefaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, kind := range []setcontain.Kind{setcontain.OIF, setcontain.InvertedFile, setcontain.Sharded} {
+		b.Run(kind.String(), func(b *testing.B) {
+			idx, err := setcontain.New(setcontain.WrapDataset(d), setcontain.WithKind(kind))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := idx.Save(io.Discard); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -14,8 +14,9 @@
 // The JSON schema is the contract the CI bench-smoke job and `make
 // bench-compare` share: every benchmark carries its full metric row
 // (ns/op, B/op, allocs/op, and custom ReportMetric units such as
-// pages/op and decoded-hit-rate), so regressions in any dimension can
-// be diffed from per-SHA artifacts.
+// pages/op, decoded-hit-rate, and the durability path's restore_ms/op
+// and snapshot_bytes from BenchmarkSnapshotRestore), so regressions in
+// any dimension can be diffed from per-SHA artifacts.
 package main
 
 import (

@@ -1,26 +1,38 @@
 // Command oifquery builds a containment index over a dataset file and
-// answers interactive queries. OIF indexes can be snapshotted to disk and
-// reloaded, skipping the build.
+// answers interactive queries. OIF, inverted-file, and sharded indexes
+// can be snapshotted to disk and reloaded, skipping the build.
 //
 // Usage:
 //
 //	setgen -kind msweb -out data.txt
-//	oifquery -data data.txt -index oif -save idx.oif
-//	oifquery -load idx.oif
+//	oifquery -data data.txt -index sharded -save idx.snap
+//	oifquery -load idx.snap
 //
 // Then, on stdin (items are decimal ids):
 //
 //	subset 3 17        records containing both items
 //	equality 3 17 29   records whose set is exactly {3,17,29}
 //	superset 3 17 29   records contained in {3,17,29}
+//	insert 3 17 29     add a record, print its id
+//	delete 42          tombstone record 42
+//	merge              fold pending inserts and tombstones to disk
+//	digest             deterministic query sweep, print an answer hash
 //	stats              cumulative page-access statistics
 //	help, quit
+//
+// The digest command hashes the answers of a fixed query sweep, so two
+// instances over the same logical collection — say, one built from the
+// dataset and one restored from its snapshot — can be compared for
+// byte-identical behaviour (make snapshot-smoke does exactly that).
 package main
 
 import (
 	"bufio"
+	"encoding/binary"
 	"flag"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"os"
 	"strconv"
 	"strings"
@@ -37,8 +49,8 @@ func main() {
 		kindName = flag.String("index", "oif", "index kind: oif, if, ubt, or sharded")
 		shards   = flag.Int("shards", 0, "shard count for -index sharded (0 = one per CPU)")
 		maxShow  = flag.Int("maxshow", 20, "maximum record ids to print per answer")
-		savePath = flag.String("save", "", "write an OIF snapshot here after building")
-		loadPath = flag.String("load", "", "load an OIF snapshot instead of building from -data")
+		savePath = flag.String("save", "", "write an index snapshot here after building")
+		loadPath = flag.String("load", "", "load an index snapshot instead of building from -data")
 	)
 	flag.Parse()
 	if *dataPath == "" && *loadPath == "" {
@@ -53,13 +65,14 @@ func main() {
 			os.Exit(1)
 		}
 		start := time.Now()
-		idx, err := setcontain.LoadIndex(f, setcontain.Options{})
+		idx, err := setcontain.Open(f)
 		f.Close()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "oifquery: load: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("loaded snapshot in %v; type 'help' for commands\n", time.Since(start).Round(time.Millisecond))
+		fmt.Printf("loaded %s snapshot (%d records) in %v; type 'help' for commands\n",
+			idx.Kind(), idx.NumRecords(), time.Since(start).Round(time.Millisecond))
 		repl(idx, nil, *maxShow)
 		return
 	}
@@ -118,7 +131,50 @@ func repl(idx *setcontain.Index, coll *setcontain.Collection, maxShow int) {
 		case "quit", "exit":
 			return
 		case "help":
-			fmt.Println("commands: subset ITEMS..., equality ITEMS..., superset ITEMS..., stats, quit")
+			fmt.Println("commands: subset ITEMS..., equality ITEMS..., superset ITEMS...,")
+			fmt.Println("          insert ITEMS..., delete ID, merge, digest, stats, quit")
+		case "insert":
+			items, err := parseItems(fields[1:])
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			id, err := idx.Insert(items)
+			if err != nil {
+				fmt.Printf("insert: %v\n", err)
+				continue
+			}
+			fmt.Printf("inserted record %d (%d pending)\n", id, idx.PendingInserts())
+		case "delete":
+			if len(fields) != 2 {
+				fmt.Println("usage: delete ID")
+				continue
+			}
+			id, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				fmt.Printf("bad id %q\n", fields[1])
+				continue
+			}
+			if err := idx.Delete(uint32(id)); err != nil {
+				fmt.Printf("delete: %v\n", err)
+				continue
+			}
+			fmt.Printf("deleted record %d (%d tombstoned)\n", id, idx.Deleted())
+		case "merge":
+			t0 := time.Now()
+			if err := idx.MergeDelta(); err != nil {
+				fmt.Printf("merge: %v\n", err)
+				continue
+			}
+			fmt.Printf("merged in %v (%d records, %d tombstoned)\n",
+				time.Since(t0).Round(time.Microsecond), idx.NumRecords(), idx.Deleted())
+		case "digest":
+			d, err := answerDigest(idx)
+			if err != nil {
+				fmt.Printf("digest: %v\n", err)
+				continue
+			}
+			fmt.Printf("digest: %016x\n", d)
 		case "stats":
 			st := idx.CacheStats()
 			fmt.Printf("page reads: %d (seq %d, near %d, random %d), cache hits: %d\n",
@@ -154,6 +210,43 @@ func repl(idx *setcontain.Index, coll *setcontain.Collection, maxShow int) {
 			fmt.Printf("unknown command %q (try 'help')\n", cmd)
 		}
 	}
+}
+
+// answerDigest runs a deterministic query sweep — 64 queries per
+// predicate, items drawn from a fixed-seed RNG over the index's domain —
+// and folds every answer id into an FNV-1a hash. Identical collections
+// produce identical digests regardless of engine kind or whether the
+// index was built or restored.
+func answerDigest(idx *setcontain.Index) (uint64, error) {
+	h := fnv.New64a()
+	var word [8]byte
+	domain := idx.Engine().DomainSize()
+	if domain == 0 {
+		return 0, fmt.Errorf("empty domain")
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, pred := range []setcontain.Predicate{
+		setcontain.PredicateSubset, setcontain.PredicateEquality, setcontain.PredicateSuperset,
+	} {
+		for i := 0; i < 64; i++ {
+			k := 1 + rng.Intn(4)
+			items := make([]setcontain.Item, k)
+			for j := range items {
+				items[j] = setcontain.Item(rng.Intn(domain))
+			}
+			ids, err := idx.Eval(setcontain.Query{Pred: pred, Items: items})
+			if err != nil {
+				return 0, err
+			}
+			binary.LittleEndian.PutUint64(word[:], uint64(len(ids))^uint64(pred)<<32)
+			h.Write(word[:])
+			for _, id := range ids {
+				binary.LittleEndian.PutUint32(word[:4], id)
+				h.Write(word[:4])
+			}
+		}
+	}
+	return h.Sum64(), nil
 }
 
 // loadCollection reads a dataset file in the requested format, applying

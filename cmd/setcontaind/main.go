@@ -9,12 +9,20 @@
 //	setcontaind -synthetic 100000 -index sharded -shards 4
 //	setcontaind -data sets.txt -addr :8080
 //	setcontaind -msweb anonymous-msweb.data -replicas 10
+//	setcontaind -snapshot idx.snap
+//
+// With -snapshot the daemon boots from a snapshot container (written by
+// POST /admin/snapshot, oifquery -save, or setcontain.Index.Save)
+// instead of rebuilding from a raw dataset — the restart path for a
+// warm production daemon.
 //
 // Endpoints: POST /query (batch, NDJSON answers), GET /query?q=…,
-// GET /stream?q=… (flushed chunks), GET /stats, GET /healthz. Try it:
+// GET /stream?q=… (flushed chunks), GET /stats, GET /healthz, plus the
+// mutation surface POST /admin/{insert,delete,merge,snapshot}. Try it:
 //
 //	curl -sg 'localhost:8080/query?q=subset{3+17}'
 //	curl -s -d '{"queries":[{"pred":"superset","items":[1,2,3]}]}' localhost:8080/query
+//	curl -s -X POST localhost:8080/admin/snapshot -o idx.snap
 //
 // Load-test a running instance with
 // `oifbench -experiment serve -addr http://localhost:8080`.
@@ -41,6 +49,8 @@ func main() {
 	var (
 		addr = flag.String("addr", ":8080", "listen address")
 
+		snapshot = flag.String("snapshot", "", "boot from this snapshot container instead of building from a dataset")
+
 		data      = flag.String("data", "", "dataset file in the text format (one record per line)")
 		msweb     = flag.String("msweb", "", "dataset file in the UCI msweb format")
 		replicas  = flag.Int("replicas", 1, "msweb session replication factor (the paper uses 10)")
@@ -64,29 +74,46 @@ func main() {
 	)
 	flag.Parse()
 
-	coll, source, err := loadCollection(*data, *msweb, *replicas, *synthetic, *domain, *zipf, *seed)
-	if err != nil {
-		log.Fatalf("setcontaind: %v", err)
-	}
-	kind, err := setcontain.ParseKind(*index)
-	if err != nil {
-		log.Fatalf("setcontaind: %v", err)
-	}
+	var idx *setcontain.Index
+	if *snapshot != "" {
+		f, err := os.Open(*snapshot)
+		if err != nil {
+			log.Fatalf("setcontaind: %v", err)
+		}
+		restoreStart := time.Now()
+		idx, err = setcontain.Open(f, setcontain.WithCachePages(*cache))
+		f.Close()
+		if err != nil {
+			log.Fatalf("setcontaind: loading snapshot: %v", err)
+		}
+		log.Printf("restored %s index (%d records, %d pending, %d deleted) from %s in %v",
+			idx.Kind(), idx.NumRecords(), idx.PendingInserts(), idx.Deleted(),
+			*snapshot, time.Since(restoreStart).Round(time.Millisecond))
+	} else {
+		coll, source, err := loadCollection(*data, *msweb, *replicas, *synthetic, *domain, *zipf, *seed)
+		if err != nil {
+			log.Fatalf("setcontaind: %v", err)
+		}
+		kind, err := setcontain.ParseKind(*index)
+		if err != nil {
+			log.Fatalf("setcontaind: %v", err)
+		}
 
-	buildStart := time.Now()
-	idx, err := setcontain.New(coll,
-		setcontain.WithKind(kind),
-		setcontain.WithShards(*shards),
-		setcontain.WithPageSize(*pageSize),
-		setcontain.WithBlockPostings(*blockPost),
-		setcontain.WithCachePages(*cache),
-		setcontain.WithDecodedCache(*decoded),
-	)
-	if err != nil {
-		log.Fatalf("setcontaind: building index: %v", err)
+		buildStart := time.Now()
+		idx, err = setcontain.New(coll,
+			setcontain.WithKind(kind),
+			setcontain.WithShards(*shards),
+			setcontain.WithPageSize(*pageSize),
+			setcontain.WithBlockPostings(*blockPost),
+			setcontain.WithCachePages(*cache),
+			setcontain.WithDecodedCache(*decoded),
+		)
+		if err != nil {
+			log.Fatalf("setcontaind: building index: %v", err)
+		}
+		log.Printf("indexed %d records over %d items from %s: %s in %v",
+			coll.Len(), coll.DomainSize(), source, kind, time.Since(buildStart).Round(time.Millisecond))
 	}
-	log.Printf("indexed %d records over %d items from %s: %s in %v",
-		coll.Len(), coll.DomainSize(), source, kind, time.Since(buildStart).Round(time.Millisecond))
 	for _, p := range setcontain.ShardPlans(idx.Engine()) {
 		log.Printf("shard %d: %s, %d records, theta %.2f", p.Shard, p.Kind, p.Records, p.Theta)
 	}
@@ -118,7 +145,7 @@ func main() {
 		}
 	}()
 
-	log.Printf("serving on %s (POST /query, GET /query?q=…, /stream, /stats, /healthz)", *addr)
+	log.Printf("serving on %s (POST /query, GET /query?q=…, /stream, /stats, /healthz, /admin/*)", *addr)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("setcontaind: %v", err)
 	}

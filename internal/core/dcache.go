@@ -107,6 +107,18 @@ func blockCacheKey(rank sequence.Rank, lastID uint32) uint64 {
 	return uint64(rank)<<32 | uint64(lastID)
 }
 
+// seedStats folds a predecessor cache's counters into this one, so the
+// reported statistics stay cumulative across MergeDelta's rebuild. Only
+// the event counters carry over; Postings/Capacity are gauges of the
+// live cache.
+func (c *decodedCache) seedStats(s DecodedCacheStats) {
+	c.stats.Hits += s.Hits
+	c.stats.Misses += s.Misses
+	c.stats.Admitted += s.Admitted
+	c.stats.Rejected += s.Rejected
+	c.stats.Evicted += s.Evicted
+}
+
 // Stats snapshots the counters.
 func (c *decodedCache) Stats() DecodedCacheStats {
 	s := c.stats

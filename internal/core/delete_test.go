@@ -1,0 +1,188 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/naive"
+)
+
+// deleteReference answers qs against d with the naive scanner, then
+// strips the tombstoned ids — the ground truth a deleting index must
+// match both before and after MergeDelta.
+func deleteReference(pred string, d *dataset.Dataset, qs []dataset.Item, dead []uint32) []uint32 {
+	var ids []uint32
+	switch pred {
+	case "subset":
+		ids = naive.Subset(d, qs)
+	case "equality":
+		ids = naive.Equality(d, qs)
+	default:
+		ids = naive.Superset(d, qs)
+	}
+	out := ids[:0]
+	for _, id := range ids {
+		if _, found := slices.BinarySearch(dead, id); !found {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// TestDeleteAgainstNaive: tombstoned records vanish from all three
+// predicates immediately and stay gone after the merge physically drops
+// their postings; everything else answers exactly as the naive scan.
+func TestDeleteAgainstNaive(t *testing.T) {
+	d, err := dataset.GenerateSynthetic(dataset.SyntheticConfig{
+		NumRecords: 2000, DomainSize: 50, MinLen: 1, MaxLen: 8, ZipfTheta: 0.9, Seed: 140,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(d, Options{PageSize: 512, BlockPostings: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(141))
+	var dead []uint32
+	for len(dead) < 300 {
+		id := uint32(1 + rng.Intn(d.Len()))
+		if err := ix.Delete(id); err != nil {
+			continue // already dead
+		}
+		dead = append(dead, id)
+	}
+	slices.Sort(dead)
+	if got := ix.Deleted(); got != len(dead) {
+		t.Fatalf("Deleted() = %d, want %d", got, len(dead))
+	}
+
+	check := func(stage string) {
+		t.Helper()
+		for trial := 0; trial < 80; trial++ {
+			k := rng.Intn(5)
+			qs := make([]dataset.Item, k)
+			for i := range qs {
+				qs[i] = dataset.Item(rng.Intn(50))
+			}
+			for _, pred := range []string{"subset", "equality", "superset"} {
+				want := deleteReference(pred, d, qs, dead)
+				var got []uint32
+				var err error
+				switch pred {
+				case "subset":
+					got, err = ix.Subset(qs)
+				case "equality":
+					got, err = ix.Equality(qs)
+				default:
+					got, err = ix.Superset(qs)
+				}
+				if err != nil {
+					t.Fatalf("%s %s(%v): %v", stage, pred, qs, err)
+				}
+				if !equalIDsCore(got, want) {
+					t.Fatalf("%s %s(%v): got %v, want %v", stage, pred, qs, got, want)
+				}
+			}
+		}
+	}
+	check("pre-merge")
+
+	blocksBefore := ix.Space().Blocks
+	if err := ix.MergeDelta(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Space().Blocks >= blocksBefore {
+		t.Errorf("blocks %d -> %d after deleting 300 of 2000; want physical shrink",
+			blocksBefore, ix.Space().Blocks)
+	}
+	if ix.NumRecords() != d.Len() {
+		t.Errorf("NumRecords %d after merge, want %d (slots persist)", ix.NumRecords(), d.Len())
+	}
+	check("post-merge")
+
+	// Tombstones survive a snapshot taken before AND after the merge.
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Deleted() != len(dead) {
+		t.Fatalf("snapshot lost tombstones: %d, want %d", loaded.Deleted(), len(dead))
+	}
+	got, err := loaded.Subset(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range dead {
+		if _, found := slices.BinarySearch(got, id); found {
+			t.Fatalf("tombstoned id %d resurfaced after snapshot reload", id)
+		}
+	}
+}
+
+// TestDeletePendingSnapshot: a snapshot taken between Delete and
+// MergeDelta restores with the physical fold-out still pending — the
+// restored index's merge must shrink the lists exactly like the
+// original's would have.
+func TestDeletePendingSnapshot(t *testing.T) {
+	d, err := dataset.GenerateSynthetic(dataset.SyntheticConfig{
+		NumRecords: 800, DomainSize: 30, MinLen: 1, MaxLen: 6, ZipfTheta: 0.8, Seed: 150,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(d, Options{PageSize: 512, BlockPostings: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint32(1); id <= 200; id++ {
+		if err := ix.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := loaded.Space().Blocks
+	if err := loaded.MergeDelta(); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Space().Blocks >= before {
+		t.Errorf("restored index's merge did not shrink blocks: %d -> %d", before, loaded.Space().Blocks)
+	}
+	a, err := ix.Subset(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Subset(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDsCore(a, b) {
+		t.Fatal("restored+merged answers diverge from original")
+	}
+}
+
+func equalIDsCore(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

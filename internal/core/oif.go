@@ -82,6 +82,16 @@ type Index struct {
 
 	delta []dataset.Record // §4.4 memory-resident delta, original-id space
 
+	// dead is the tombstone set: sorted original-space ids of deleted
+	// records, masked out of every answer. The slice is immutable once
+	// attached — Delete installs a fresh copy — so Reader clones can
+	// share it safely. deadDirty records that some tombstoned postings
+	// are still physically present (on disk or in the delta) and will be
+	// folded out by the next MergeDelta; the ids themselves stay
+	// tombstoned forever, because record ids are never reused.
+	dead      []uint32
+	deadDirty bool
+
 	// Per-instance query runtime, attached lazily by ensureRuntime and
 	// never shared between an Index and its Reader clones.
 	arena  *queryArena
@@ -264,17 +274,35 @@ func (ix *Index) origID(newID uint32) uint32 { return uint32(ix.re.OrigIndex(new
 
 // mapToOriginal converts new-id results to sorted original ids appended
 // to dst (whose existing contents are untouched — only the appended
-// region is sorted), adding matching delta records.
+// region is sorted), masking tombstoned records and adding matching
+// delta records.
 func (ix *Index) mapToOriginal(dst, newIDs []uint32, q []sequence.Rank, pred deltaPred) []uint32 {
 	start := len(dst)
 	dst = slices.Grow(dst, len(newIDs))
-	for _, id := range newIDs {
-		dst = append(dst, ix.origID(id))
+	if len(ix.dead) == 0 {
+		for _, id := range newIDs {
+			dst = append(dst, ix.origID(id))
+		}
+	} else {
+		for _, id := range newIDs {
+			if oid := ix.origID(id); !ix.isDead(oid) {
+				dst = append(dst, oid)
+			}
+		}
 	}
 	dst = ix.appendDelta(dst, q, pred)
 	slices.Sort(dst[start:])
 	return dst
 }
+
+// isDead reports whether the original-space id is tombstoned.
+func (ix *Index) isDead(id uint32) bool {
+	_, ok := slices.BinarySearch(ix.dead, id)
+	return ok
+}
+
+// Deleted returns the number of tombstoned records.
+func (ix *Index) Deleted() int { return len(ix.dead) }
 
 // prepRanks canonicalises a query set into the arena: validated,
 // converted to ranks, sorted ascending, deduplicated. The returned slice

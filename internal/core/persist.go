@@ -2,152 +2,62 @@ package core
 
 import (
 	"bufio"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 
 	"repro/internal/btree"
 	"repro/internal/dataset"
 	"repro/internal/sequence"
+	"repro/internal/snapio"
 	"repro/internal/storage"
 )
 
 // Index snapshots. Save serialises everything an OIF needs — options,
 // the item order, the record reordering, the metadata table, the space
-// accounting, the pending delta, and the raw B-tree pages — into one
-// stream guarded by a CRC32 trailer; Load reconstructs a queryable index
-// backed by an in-memory pager. The paper's own deployment would keep the
-// Berkeley DB file plus a small sidecar; a single self-contained snapshot
-// is the simpler equivalent for a library.
+// accounting, the pending delta, the tombstone set, and the raw B-tree
+// pages — into one stream guarded by a CRC32 trailer; Load reconstructs
+// a queryable index backed by an in-memory pager. The paper's own
+// deployment would keep the Berkeley DB file plus a small sidecar; a
+// single self-contained snapshot is the simpler equivalent for a
+// library.
+//
+// Format version 2 extends the original header with the decoded-cache
+// budget and a flags word, and appends the tombstone set after the
+// delta, so a snapshot taken between Delete and MergeDelta restores
+// with its masking (and its pending physical fold-out) intact.
 
-const snapshotMagic = "OIFSNAP1"
+const snapshotMagic = "OIFSNAP2"
+
+// snapshot header flags.
+const snapFlagDeadDirty = 1 << 0 // tombstoned postings still on disk
 
 // ErrBadSnapshot reports a corrupt or foreign snapshot stream.
 var ErrBadSnapshot = errors.New("core: bad index snapshot")
 
-type crcWriter struct {
-	w   io.Writer
-	crc uint32
-}
-
-func (c *crcWriter) Write(p []byte) (int, error) {
-	n, err := c.w.Write(p)
-	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
-	return n, err
-}
-
-type crcReader struct {
-	r   io.Reader
-	crc uint32
-}
-
-func (c *crcReader) Read(p []byte) (int, error) {
-	n, err := c.r.Read(p)
-	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
-	return n, err
-}
-
-func writeU32(w io.Writer, v uint32) error {
-	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], v)
-	_, err := w.Write(b[:])
-	return err
-}
-
-func writeU64(w io.Writer, v uint64) error {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
-	_, err := w.Write(b[:])
-	return err
-}
-
-func writeU32Slice(w io.Writer, vals []uint32) error {
-	if err := writeU64(w, uint64(len(vals))); err != nil {
-		return err
-	}
-	var buf [4 * 1024]byte
-	for len(vals) > 0 {
-		n := len(vals)
-		if n > 1024 {
-			n = 1024
-		}
-		for i := 0; i < n; i++ {
-			binary.LittleEndian.PutUint32(buf[i*4:], vals[i])
-		}
-		if _, err := w.Write(buf[:n*4]); err != nil {
-			return err
-		}
-		vals = vals[n:]
-	}
-	return nil
-}
-
-func readU32(r io.Reader) (uint32, error) {
-	var b [4]byte
-	if _, err := io.ReadFull(r, b[:]); err != nil {
-		return 0, err
-	}
-	return binary.LittleEndian.Uint32(b[:]), nil
-}
-
-func readU64(r io.Reader) (uint64, error) {
-	var b [8]byte
-	if _, err := io.ReadFull(r, b[:]); err != nil {
-		return 0, err
-	}
-	return binary.LittleEndian.Uint64(b[:]), nil
-}
-
-// maxSliceLen bounds slice headers so a corrupt stream cannot force a
-// huge allocation before the CRC check has a chance to fail.
-const maxSliceLen = 1 << 31
-
-func readU32Slice(r io.Reader) ([]uint32, error) {
-	n, err := readU64(r)
-	if err != nil {
-		return nil, err
-	}
-	if n > maxSliceLen {
-		return nil, fmt.Errorf("%w: slice of %d elements", ErrBadSnapshot, n)
-	}
-	out := make([]uint32, n)
-	var buf [4 * 1024]byte
-	for i := uint64(0); i < n; {
-		chunk := n - i
-		if chunk > 1024 {
-			chunk = 1024
-		}
-		if _, err := io.ReadFull(r, buf[:chunk*4]); err != nil {
-			return nil, err
-		}
-		for j := uint64(0); j < chunk; j++ {
-			out[i+j] = binary.LittleEndian.Uint32(buf[j*4:])
-		}
-		i += chunk
-	}
-	return out, nil
-}
-
 // Save writes a self-contained snapshot of the index to w.
 func (ix *Index) Save(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
-	cw := &crcWriter{w: bw}
+	cw := snapio.NewWriter(bw)
 	if _, err := io.WriteString(cw, snapshotMagic); err != nil {
 		return err
+	}
+	flags := uint32(0)
+	if ix.deadDirty {
+		flags |= snapFlagDeadDirty
 	}
 	for _, v := range []uint32{
 		uint32(ix.opts.PageSize), uint32(ix.opts.BlockPostings),
 		uint32(ix.numRecords), uint32(ix.domainSize), ix.meta.EmptyUpper,
-		uint32(ix.opts.TagPrefix),
+		uint32(ix.opts.TagPrefix), uint32(ix.opts.DecodedCachePostings),
+		flags,
 	} {
-		if err := writeU32(cw, v); err != nil {
+		if err := snapio.WriteU32(cw, v); err != nil {
 			return err
 		}
 	}
 	// Item order.
-	if err := writeU32Slice(cw, ix.ord.Items()); err != nil {
+	if err := snapio.WriteU32Slice(cw, ix.ord.Items()); err != nil {
 		return err
 	}
 	// Metadata regions.
@@ -155,23 +65,23 @@ func (ix *Index) Save(w io.Writer) error {
 	for _, reg := range ix.meta.Regions {
 		regions = append(regions, reg.L, reg.U, reg.U1)
 	}
-	if err := writeU32Slice(cw, regions); err != nil {
+	if err := snapio.WriteU32Slice(cw, regions); err != nil {
 		return err
 	}
 	// Reordering.
 	flat, off, origIndex := ix.re.Parts()
-	if err := writeU32Slice(cw, flat); err != nil {
+	if err := snapio.WriteU32Slice(cw, flat); err != nil {
 		return err
 	}
-	if err := writeU32Slice(cw, off); err != nil {
+	if err := snapio.WriteU32Slice(cw, off); err != nil {
 		return err
 	}
-	if err := writeU32Slice(cw, origIndex); err != nil {
+	if err := snapio.WriteU32Slice(cw, origIndex); err != nil {
 		return err
 	}
 	// Space accounting.
 	for _, v := range []int64{ix.blocks, ix.postingBytes, ix.keyBytes} {
-		if err := writeU64(cw, uint64(v)); err != nil {
+		if err := snapio.WriteU64(cw, uint64(v)); err != nil {
 			return err
 		}
 	}
@@ -179,20 +89,24 @@ func (ix *Index) Save(w io.Writer) error {
 	for i, v := range ix.listPostings {
 		lp[i] = uint32(v)
 	}
-	if err := writeU32Slice(cw, lp); err != nil {
+	if err := snapio.WriteU32Slice(cw, lp); err != nil {
 		return err
 	}
 	// Pending delta.
-	if err := writeU64(cw, uint64(len(ix.delta))); err != nil {
+	if err := snapio.WriteU64(cw, uint64(len(ix.delta))); err != nil {
 		return err
 	}
 	for _, r := range ix.delta {
-		if err := writeU32(cw, r.ID); err != nil {
+		if err := snapio.WriteU32(cw, r.ID); err != nil {
 			return err
 		}
-		if err := writeU32Slice(cw, r.Set); err != nil {
+		if err := snapio.WriteU32Slice(cw, r.Set); err != nil {
 			return err
 		}
+	}
+	// Tombstones.
+	if err := snapio.WriteU32Slice(cw, ix.dead); err != nil {
+		return err
 	}
 	// Raw pages. Flush the pool first so the pager is current.
 	pool := ix.tree.Pool()
@@ -200,7 +114,7 @@ func (ix *Index) Save(w io.Writer) error {
 		return err
 	}
 	pager := pool.Pager()
-	if err := writeU64(cw, uint64(pager.NumPages())); err != nil {
+	if err := snapio.WriteU64(cw, uint64(pager.NumPages())); err != nil {
 		return err
 	}
 	page := make([]byte, pager.PageSize())
@@ -213,9 +127,7 @@ func (ix *Index) Save(w io.Writer) error {
 		}
 	}
 	// CRC trailer (not itself CRC'd).
-	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], cw.crc)
-	if _, err := bw.Write(b[:]); err != nil {
+	if err := cw.WriteTrailer(); err != nil {
 		return err
 	}
 	return bw.Flush()
@@ -224,7 +136,7 @@ func (ix *Index) Save(w io.Writer) error {
 // Load reconstructs an index from a snapshot produced by Save. The index
 // is backed by an in-memory pager and metered with the default cache.
 func Load(r io.Reader) (*Index, error) {
-	cr := &crcReader{r: bufio.NewReaderSize(r, 1<<16)}
+	cr := snapio.NewReader(bufio.NewReaderSize(r, 1<<16))
 	magic := make([]byte, len(snapshotMagic))
 	if _, err := io.ReadFull(cr, magic); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
@@ -232,9 +144,9 @@ func Load(r io.Reader) (*Index, error) {
 	if string(magic) != snapshotMagic {
 		return nil, fmt.Errorf("%w: magic %q", ErrBadSnapshot, magic)
 	}
-	var hdr [6]uint32
+	var hdr [8]uint32
 	for i := range hdr {
-		v, err := readU32(cr)
+		v, err := snapio.ReadU32(cr)
 		if err != nil {
 			return nil, fmt.Errorf("%w: header: %v", ErrBadSnapshot, err)
 		}
@@ -242,12 +154,12 @@ func Load(r io.Reader) (*Index, error) {
 	}
 	pageSize, blockPostings := int(hdr[0]), int(hdr[1])
 	numRecords, domainSize, emptyUpper := int(hdr[2]), int(hdr[3]), hdr[4]
-	tagPrefix := int(hdr[5])
+	tagPrefix, decodedPostings, flags := int(hdr[5]), int(hdr[6]), hdr[7]
 	if pageSize <= 0 || pageSize > 1<<20 || domainSize < 0 || numRecords < 0 {
 		return nil, fmt.Errorf("%w: implausible header", ErrBadSnapshot)
 	}
 
-	items, err := readU32Slice(cr)
+	items, err := snapio.ReadU32Slice(cr)
 	if err != nil {
 		return nil, fmt.Errorf("%w: order: %v", ErrBadSnapshot, err)
 	}
@@ -255,7 +167,7 @@ func Load(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
-	regionWords, err := readU32Slice(cr)
+	regionWords, err := snapio.ReadU32Slice(cr)
 	if err != nil || len(regionWords) != 3*domainSize {
 		return nil, fmt.Errorf("%w: regions", ErrBadSnapshot)
 	}
@@ -264,15 +176,15 @@ func Load(r io.Reader) (*Index, error) {
 	for i := 0; i < domainSize; i++ {
 		meta.Regions[i] = Region{L: regionWords[3*i], U: regionWords[3*i+1], U1: regionWords[3*i+2]}
 	}
-	flat, err := readU32Slice(cr)
+	flat, err := snapio.ReadU32Slice(cr)
 	if err != nil {
 		return nil, fmt.Errorf("%w: arena: %v", ErrBadSnapshot, err)
 	}
-	off, err := readU32Slice(cr)
+	off, err := snapio.ReadU32Slice(cr)
 	if err != nil {
 		return nil, fmt.Errorf("%w: offsets: %v", ErrBadSnapshot, err)
 	}
-	origIndex, err := readU32Slice(cr)
+	origIndex, err := snapio.ReadU32Slice(cr)
 	if err != nil {
 		return nil, fmt.Errorf("%w: id map: %v", ErrBadSnapshot, err)
 	}
@@ -286,13 +198,13 @@ func Load(r io.Reader) (*Index, error) {
 
 	var space [3]int64
 	for i := range space {
-		v, err := readU64(cr)
+		v, err := snapio.ReadU64(cr)
 		if err != nil {
 			return nil, fmt.Errorf("%w: space stats", ErrBadSnapshot)
 		}
 		space[i] = int64(v)
 	}
-	lp, err := readU32Slice(cr)
+	lp, err := snapio.ReadU32Slice(cr)
 	if err != nil || len(lp) != domainSize {
 		return nil, fmt.Errorf("%w: list postings", ErrBadSnapshot)
 	}
@@ -300,25 +212,32 @@ func Load(r io.Reader) (*Index, error) {
 	for i, v := range lp {
 		listPostings[i] = int64(v)
 	}
-	nDelta, err := readU64(cr)
-	if err != nil || nDelta > maxSliceLen {
+	nDelta, err := snapio.ReadU64(cr)
+	if err != nil || nDelta > snapio.MaxSliceLen {
 		return nil, fmt.Errorf("%w: delta count", ErrBadSnapshot)
 	}
 	delta := make([]dataset.Record, 0, nDelta)
 	for i := uint64(0); i < nDelta; i++ {
-		id, err := readU32(cr)
+		id, err := snapio.ReadU32(cr)
 		if err != nil {
 			return nil, fmt.Errorf("%w: delta record", ErrBadSnapshot)
 		}
-		set, err := readU32Slice(cr)
+		set, err := snapio.ReadU32Slice(cr)
 		if err != nil {
 			return nil, fmt.Errorf("%w: delta set", ErrBadSnapshot)
 		}
 		delta = append(delta, dataset.Record{ID: id, Set: set})
 	}
+	dead, err := snapio.ReadU32Slice(cr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: tombstones", ErrBadSnapshot)
+	}
+	if len(dead) == 0 {
+		dead = nil
+	}
 
-	nPages, err := readU64(cr)
-	if err != nil || nPages > maxSliceLen {
+	nPages, err := snapio.ReadU64(cr)
+	if err != nil || nPages > snapio.MaxSliceLen {
 		return nil, fmt.Errorf("%w: page count", ErrBadSnapshot)
 	}
 	pager := storage.NewMemPager(pageSize)
@@ -335,13 +254,8 @@ func Load(r io.Reader) (*Index, error) {
 			return nil, err
 		}
 	}
-	wantCRC := cr.crc
-	var tail [4]byte
-	if _, err := io.ReadFull(cr.r, tail[:]); err != nil {
-		return nil, fmt.Errorf("%w: missing CRC trailer", ErrBadSnapshot)
-	}
-	if gotCRC := binary.LittleEndian.Uint32(tail[:]); gotCRC != wantCRC {
-		return nil, fmt.Errorf("%w: CRC mismatch (stored %08x, computed %08x)", ErrBadSnapshot, gotCRC, wantCRC)
+	if err := cr.VerifyTrailer(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
 
 	pool := storage.NewBufferPool(pager, storage.DefaultPoolPages)
@@ -350,17 +264,23 @@ func Load(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
 	return &Index{
-		tree:         tree,
-		ord:          ord,
-		re:           re,
-		meta:         meta,
-		numRecords:   numRecords,
-		domainSize:   domainSize,
-		opts:         Options{PageSize: pageSize, BlockPostings: blockPostings, BuildPoolPages: 1024, TagPrefix: tagPrefix},
+		tree:       tree,
+		ord:        ord,
+		re:         re,
+		meta:       meta,
+		numRecords: numRecords,
+		domainSize: domainSize,
+		opts: Options{
+			PageSize: pageSize, BlockPostings: blockPostings,
+			BuildPoolPages: 1024, TagPrefix: tagPrefix,
+			DecodedCachePostings: decodedPostings,
+		},
 		blocks:       space[0],
 		postingBytes: space[1],
 		keyBytes:     space[2],
 		listPostings: listPostings,
 		delta:        delta,
+		dead:         dead,
+		deadDirty:    flags&snapFlagDeadDirty != 0,
 	}, nil
 }

@@ -11,10 +11,10 @@ import (
 // own pool of the given capacity can run queries in parallel with the
 // parent and with other readers.
 //
-// The reader shares the parent's delta snapshot: inserts made on the
-// parent after NewReader are invisible to the reader (create a fresh
-// reader after MergeDelta). Readers must not Insert, MergeDelta, Save,
-// or SetPool.
+// The reader shares the parent's delta and tombstone snapshots: inserts
+// and deletes made on the parent after NewReader are invisible to the
+// reader (create a fresh reader after MergeDelta). Readers must not
+// Insert, Delete, MergeDelta, Save, or SetPool.
 func (ix *Index) NewReader(poolPages int) (*Reader, error) {
 	pool := storage.NewBufferPool(ix.tree.Pool().Pager(), poolPages)
 	view, err := ix.tree.View(pool)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/dataset"
@@ -30,6 +31,9 @@ func (ix *Index) appendDelta(ids []uint32, q []sequence.Rank, pred deltaPred) []
 	}
 	items := ix.ord.Set(q)
 	for _, r := range ix.delta {
+		if len(ix.dead) > 0 && ix.isDead(r.ID) {
+			continue
+		}
 		var ok bool
 		switch pred {
 		case predContainsAll:
@@ -67,19 +71,49 @@ func (ix *Index) Insert(set []dataset.Item) (uint32, error) {
 // DeltaLen returns the number of unmerged inserted records.
 func (ix *Index) DeltaLen() int { return len(ix.delta) }
 
+// Delete tombstones the record with the given original-space id: it
+// vanishes from every answer immediately, its postings are physically
+// removed by the next MergeDelta, and its id is never reused (the slot
+// persists as an empty record). Deleting a pending delta record works
+// the same way. Deleting an unknown or already-deleted id is an error.
+func (ix *Index) Delete(id uint32) error {
+	if id == 0 || int(id) > ix.NumRecords() {
+		return fmt.Errorf("core: delete of unknown record %d (have %d)", id, ix.NumRecords())
+	}
+	i, found := slices.BinarySearch(ix.dead, id)
+	if found {
+		return fmt.Errorf("core: record %d already deleted", id)
+	}
+	// Copy-on-write keeps the slice immutable for live Reader clones.
+	dead := make([]uint32, 0, len(ix.dead)+1)
+	dead = append(dead, ix.dead[:i]...)
+	dead = append(dead, id)
+	dead = append(dead, ix.dead[i:]...)
+	ix.dead = dead
+	ix.deadDirty = true
+	return nil
+}
+
 // MergeDelta rebuilds the index over the union of the indexed records and
 // the delta: supports are recounted (the order may shift), records are
 // re-sorted, ids reassigned, blocks and metadata rebuilt — the full §4.4
-// OIF update cost.
+// OIF update cost. Tombstoned records participate as empty sets, so
+// their postings disappear from every list while every surviving record
+// keeps its id; the tombstone set itself carries over (masking the empty
+// slots), as do the decoded-block cache's cumulative statistics.
 func (ix *Index) MergeDelta() error {
-	if len(ix.delta) == 0 {
+	if len(ix.delta) == 0 && !ix.deadDirty {
 		return nil
 	}
 	// Reconstruct the source dataset in original-id order from the
-	// sequence arena, then append the delta.
+	// sequence arena, then append the delta; dead records contribute
+	// empty sets, which keeps every id slot in place.
 	d := dataset.New(ix.domainSize)
 	sets := make([][]dataset.Item, ix.numRecords)
 	for newID := uint32(1); newID <= uint32(ix.numRecords); newID++ {
+		if oid := ix.origID(newID); len(ix.dead) > 0 && ix.isDead(oid) {
+			continue
+		}
 		sets[ix.re.OrigIndex(newID)] = ix.ord.Set(ix.re.SF(newID))
 	}
 	for _, set := range sets {
@@ -88,7 +122,11 @@ func (ix *Index) MergeDelta() error {
 		}
 	}
 	for _, r := range ix.delta {
-		if _, err := d.Add(r.Set); err != nil {
+		set := r.Set
+		if len(ix.dead) > 0 && ix.isDead(r.ID) {
+			set = nil
+		}
+		if _, err := d.Add(set); err != nil {
 			return err
 		}
 	}
@@ -96,6 +134,16 @@ func (ix *Index) MergeDelta() error {
 	if err != nil {
 		return err
 	}
+	rebuilt.dead = ix.dead
+	oldCache := ix.dcache
 	*ix = *rebuilt
+	// The rebuild re-attaches a fresh decoded cache; carry the counters
+	// so DecodedStats stays cumulative across merges.
+	if oldCache != nil {
+		ix.ensureRuntime()
+		if ix.dcache != nil {
+			ix.dcache.seedStats(oldCache.Stats())
+		}
+	}
 	return nil
 }

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"slices"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/workload"
+	"repro/setcontain"
+)
+
+// RestorePoint is one engine's durability measurement: how long a cold
+// build takes versus snapshotting a built index and restoring it, and
+// how large the snapshot is. Restore is the daemon's warm-boot path
+// (setcontaind -snapshot), so RestoreTime/BuildTime is the restart
+// speed-up durability buys.
+type RestorePoint struct {
+	Kind        setcontain.Kind
+	BuildTime   time.Duration
+	SaveTime    time.Duration
+	RestoreTime time.Duration
+	Bytes       int
+	// Verified reports that the restored index answered a mixed query
+	// workload byte-identically to the original.
+	Verified bool
+}
+
+// RestoreResult is the durability sweep over the snapshot-capable
+// engine kinds.
+type RestoreResult struct {
+	Records int
+	Points  []RestorePoint
+}
+
+// RunRestore measures the snapshot round-trip for every snapshot-capable
+// engine kind (OIF, InvertedFile, Sharded) over the default synthetic
+// dataset: build the index, Save it to a buffer, Open it back, verify a
+// mixed workload answers identically, and report build/save/restore
+// times plus the snapshot footprint. Each index carries pending inserts
+// and tombstones into the snapshot, so the measured path is the full
+// production state, not just the cold pages.
+func RunRestore(cfg Config) (RestoreResult, error) {
+	cfg.fill()
+	d, err := dataset.GenerateSynthetic(cfg.SyntheticDefaults())
+	if err != nil {
+		return RestoreResult{}, err
+	}
+	gen := workload.NewGenerator(d, cfg.Seed+3000)
+	queries, err := MixedQueries(gen, 4, cfg.QueriesPerSize)
+	if err != nil {
+		return RestoreResult{}, err
+	}
+
+	res := RestoreResult{Records: d.Len()}
+	w := cfg.Out
+	fmt.Fprintf(w, "=== Snapshot restore sweep (|D|=%d, %d verify queries/kind) ===\n",
+		d.Len(), len(queries))
+	for _, kind := range []setcontain.Kind{setcontain.OIF, setcontain.InvertedFile, setcontain.Sharded} {
+		buildStart := time.Now()
+		idx, err := setcontain.New(setcontain.WrapDataset(d),
+			setcontain.WithKind(kind),
+			setcontain.WithPageSize(cfg.PageSize),
+			setcontain.WithBlockPostings(cfg.BlockPostings),
+			setcontain.WithCachePages(cfg.PoolPages),
+		)
+		if err != nil {
+			return RestoreResult{}, fmt.Errorf("experiments: build %v: %w", kind, err)
+		}
+		buildTime := time.Since(buildStart)
+
+		// Leave realistic mutation state in place: pending inserts plus a
+		// tombstone, both of which the snapshot must carry.
+		if _, err := idx.Insert([]setcontain.Item{0, 1}); err != nil {
+			return RestoreResult{}, err
+		}
+		if err := idx.Delete(1); err != nil {
+			return RestoreResult{}, err
+		}
+
+		var buf bytes.Buffer
+		saveStart := time.Now()
+		if err := idx.Save(&buf); err != nil {
+			return RestoreResult{}, fmt.Errorf("experiments: save %v: %w", kind, err)
+		}
+		saveTime := time.Since(saveStart)
+
+		restoreStart := time.Now()
+		restored, err := setcontain.Open(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return RestoreResult{}, fmt.Errorf("experiments: restore %v: %w", kind, err)
+		}
+		restoreTime := time.Since(restoreStart)
+
+		verified := true
+		for _, q := range queries {
+			want, err := idx.Eval(q)
+			if err != nil {
+				return RestoreResult{}, err
+			}
+			got, err := restored.Eval(q)
+			if err != nil {
+				return RestoreResult{}, err
+			}
+			if !slices.Equal(got, want) && !(len(got) == 0 && len(want) == 0) {
+				verified = false
+				fmt.Fprintf(w, "  %v: %s diverged after restore\n", kind, q)
+				break
+			}
+		}
+
+		pt := RestorePoint{
+			Kind: kind, BuildTime: buildTime, SaveTime: saveTime,
+			RestoreTime: restoreTime, Bytes: buf.Len(), Verified: verified,
+		}
+		res.Points = append(res.Points, pt)
+		speedup := float64(buildTime) / float64(restoreTime)
+		fmt.Fprintf(w, "%-8s build=%-10s save=%-10s restore=%-10s %8.1f KB  %5.1fx faster than rebuild  verified=%v\n",
+			pt.Kind, pt.BuildTime.Round(time.Millisecond), pt.SaveTime.Round(time.Millisecond),
+			pt.RestoreTime.Round(time.Millisecond), float64(pt.Bytes)/1024, speedup, pt.Verified)
+		if !verified {
+			return res, fmt.Errorf("experiments: %v restore diverged", kind)
+		}
+	}
+	return res, nil
+}

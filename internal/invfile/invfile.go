@@ -14,6 +14,7 @@ package invfile
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/dataset"
@@ -33,6 +34,15 @@ type Index struct {
 	emptyIDs   []uint32 // ids of empty-set records (not representable in lists)
 	lastID     []uint32 // per item: last record id in its disk list
 	counts     []int64  // per item: postings in its disk list
+
+	// dead is the tombstone set: sorted ids of deleted records, masked
+	// out of every answer. The slice is immutable once attached (Delete
+	// installs a fresh copy), so Reader clones share it safely.
+	// deadDirty marks tombstoned postings still physically present,
+	// folded out by the next MergeDelta; the ids stay tombstoned forever
+	// because record ids are never reused.
+	dead      []uint32
+	deadDirty bool
 
 	delta deltaFile
 }
@@ -169,7 +179,7 @@ func (ix *Index) Subset(qs []dataset.Item) ([]uint32, error) {
 		return nil, err
 	}
 	if len(q) == 0 {
-		return ix.allIDs(), nil
+		return ix.mergeDeltaIDs(ix.allIDs(), q, predSubset), nil
 	}
 	lists, err := ix.readAll(q)
 	if err != nil {
@@ -322,10 +332,23 @@ const (
 	predSubsetOf
 )
 
-// mergeDeltaIDs appends matching delta-record ids to ids (both ascending;
-// delta ids are all larger than disk ids).
+// mergeDeltaIDs finishes an answer: it masks tombstoned ids out of the
+// disk-side results, then appends matching delta-record ids (both
+// ascending; delta ids are all larger than disk ids).
 func (ix *Index) mergeDeltaIDs(ids []uint32, q []dataset.Item, pred deltaPred) []uint32 {
+	if len(ix.dead) > 0 {
+		kept := ids[:0]
+		for _, id := range ids {
+			if !ix.isDead(id) {
+				kept = append(kept, id)
+			}
+		}
+		ids = kept
+	}
 	for _, r := range ix.delta.records {
+		if len(ix.dead) > 0 && ix.isDead(r.ID) {
+			continue
+		}
 		var ok bool
 		switch pred {
 		case predSubset:
@@ -364,14 +387,54 @@ func (ix *Index) Insert(set []dataset.Item) (uint32, error) {
 // DeltaLen returns the number of unmerged inserted records.
 func (ix *Index) DeltaLen() int { return len(ix.delta.records) }
 
+// isDead reports whether id is tombstoned.
+func (ix *Index) isDead(id uint32) bool {
+	_, ok := slices.BinarySearch(ix.dead, id)
+	return ok
+}
+
+// Deleted returns the number of tombstoned records.
+func (ix *Index) Deleted() int { return len(ix.dead) }
+
+// Delete tombstones the record with the given id: it vanishes from every
+// answer immediately, its postings are physically removed by the next
+// MergeDelta, and its id is never reused. Deleting a pending delta
+// record works the same way. Deleting an unknown or already-deleted id
+// is an error.
+func (ix *Index) Delete(id uint32) error {
+	if id == 0 || int(id) > ix.NumRecords() {
+		return fmt.Errorf("invfile: delete of unknown record %d (have %d)", id, ix.NumRecords())
+	}
+	i, found := slices.BinarySearch(ix.dead, id)
+	if found {
+		return fmt.Errorf("invfile: record %d already deleted", id)
+	}
+	// Copy-on-write keeps the slice immutable for live Reader clones.
+	dead := make([]uint32, 0, len(ix.dead)+1)
+	dead = append(dead, ix.dead[:i]...)
+	dead = append(dead, id)
+	dead = append(dead, ix.dead[i:]...)
+	ix.dead = dead
+	ix.deadDirty = true
+	return nil
+}
+
 // MergeDelta folds the delta into the disk lists: each list is read once,
 // the new postings are appended (ids are monotonically larger, so this is
 // a byte-level append after re-basing the first d-gap), and the lists are
 // rewritten into a fresh pager. This is the IF's cheap batch update path:
 // no global re-sort is needed, which is exactly why the paper reports IF
-// updates ~3–5x faster than OIF's (§4.4).
+// updates ~3–5x faster than OIF's (§4.4). When deletions are pending,
+// each list is additionally decoded and its tombstoned postings dropped
+// before the rewrite, so the disk lists physically shrink; tombstoned
+// ids stay masked afterwards (the slots are never reused).
+// Every derived structure — the new store, the per-item counters, the
+// empty-id list — is staged in fresh storage and installed only after
+// the whole rewrite succeeded: a mid-merge failure leaves the index
+// exactly as it was, and live Reader clones (which share the previous
+// counts/lastID/emptyIDs backing arrays) never observe a write.
 func (ix *Index) MergeDelta() error {
-	if len(ix.delta.records) == 0 {
+	if len(ix.delta.records) == 0 && !ix.deadDirty {
 		return nil
 	}
 	oldPool := ix.store.Pool()
@@ -381,11 +444,23 @@ func (ix *Index) MergeDelta() error {
 	if err != nil {
 		return err
 	}
-	// Group delta postings per item.
+	lastID := append([]uint32(nil), ix.lastID...)
+	counts := append([]int64(nil), ix.counts...)
+	// Group delta postings per item, skipping tombstoned delta records
+	// (their id slots are preserved by the numRecords advance below).
 	extra := make([][]vbyte.Posting, ix.domainSize)
+	emptyIDs := make([]uint32, 0, len(ix.emptyIDs))
+	for _, id := range ix.emptyIDs {
+		if !ix.deadDirty || !ix.isDead(id) {
+			emptyIDs = append(emptyIDs, id)
+		}
+	}
 	for _, r := range ix.delta.records {
+		if len(ix.dead) > 0 && ix.isDead(r.ID) {
+			continue
+		}
 		if len(r.Set) == 0 {
-			ix.emptyIDs = append(ix.emptyIDs, r.ID)
+			emptyIDs = append(emptyIDs, r.ID)
 			continue
 		}
 		for _, it := range r.Set {
@@ -401,13 +476,37 @@ func (ix *Index) MergeDelta() error {
 		if err != nil {
 			return err
 		}
-		if len(extra[item]) > 0 {
-			raw, err = vbyte.AppendPostings(raw, extra[item], ix.lastID[item])
+		if ix.deadDirty && len(raw) > 0 {
+			ps, err := vbyte.DecodePostings(raw, 0, make([]vbyte.Posting, 0, counts[item]))
 			if err != nil {
 				return err
 			}
-			ix.lastID[item] = extra[item][len(extra[item])-1].ID
-			ix.counts[item] += int64(len(extra[item]))
+			kept := ps[:0]
+			for _, p := range ps {
+				if !ix.isDead(p.ID) {
+					kept = append(kept, p)
+				}
+			}
+			if len(kept) != len(ps) {
+				raw, err = vbyte.AppendPostings(nil, kept, 0)
+				if err != nil {
+					return err
+				}
+				counts[item] = int64(len(kept))
+				if len(kept) > 0 {
+					lastID[item] = kept[len(kept)-1].ID
+				} else {
+					lastID[item] = 0
+				}
+			}
+		}
+		if len(extra[item]) > 0 {
+			raw, err = vbyte.AppendPostings(raw, extra[item], lastID[item])
+			if err != nil {
+				return err
+			}
+			lastID[item] = extra[item][len(extra[item])-1].ID
+			counts[item] += int64(len(extra[item]))
 		}
 		if err := w.WriteList(uint32(item), raw); err != nil {
 			return err
@@ -418,6 +517,10 @@ func (ix *Index) MergeDelta() error {
 	}
 	ix.numRecords += len(ix.delta.records)
 	ix.delta.records = nil
+	ix.emptyIDs = emptyIDs
+	ix.lastID = lastID
+	ix.counts = counts
+	ix.deadDirty = false
 	ix.store = newStore
 	return nil
 }

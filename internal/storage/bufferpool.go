@@ -129,6 +129,12 @@ func (bp *BufferPool) ResetStats() {
 	bp.lastMiss = InvalidPageID
 }
 
+// AddStats folds s into the pool's counters. It seeds a replacement pool
+// with its predecessor's totals — how MergeDelta keeps an engine's
+// cumulative I/O statistics monotone across the page-file swap — without
+// touching the sequentiality tracker.
+func (bp *BufferPool) AddStats(s AccessStats) { bp.stats = bp.stats.Add(s) }
+
 // DropAll flushes dirty pages and empties the cache so the next accesses
 // start cold. It returns the first flush error encountered. The dropped
 // frames' buffers are recycled for future misses.

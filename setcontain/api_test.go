@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"slices"
+	"strings"
 	"testing"
 )
 
@@ -130,12 +131,22 @@ func TestEngineCapabilities(t *testing.T) {
 	var buf bytes.Buffer
 	if err := idxs[UnorderedBTree].Save(&buf); !errors.Is(err, ErrNoSnapshots) {
 		t.Errorf("UBT Save: got %v, want ErrNoSnapshots", err)
+	} else if !strings.Contains(err.Error(), "UBT") {
+		t.Errorf("UBT Save error %q does not name the engine", err)
 	}
-	if err := idxs[InvertedFile].Save(&buf); !errors.Is(err, ErrNoSnapshots) {
-		t.Errorf("IF Save: got %v, want ErrNoSnapshots", err)
+	for _, kind := range []Kind{OIF, InvertedFile, Sharded} {
+		buf.Reset()
+		if err := idxs[kind].Save(&buf); err != nil {
+			t.Errorf("%v Save: %v", kind, err)
+		}
 	}
 	if _, err := idxs[UnorderedBTree].Insert([]Item{1}); !errors.Is(err, ErrNoUpdates) {
 		t.Errorf("UBT Insert: got %v, want ErrNoUpdates", err)
+	} else if !strings.Contains(err.Error(), "UBT") {
+		t.Errorf("UBT Insert error %q does not name the engine", err)
+	}
+	if err := idxs[UnorderedBTree].Delete(1); !errors.Is(err, ErrNoUpdates) {
+		t.Errorf("UBT Delete: got %v, want ErrNoUpdates", err)
 	}
 	if err := idxs[UnorderedBTree].MergeDelta(); !errors.Is(err, ErrNoUpdates) {
 		t.Errorf("UBT MergeDelta: got %v, want ErrNoUpdates", err)

@@ -54,4 +54,23 @@
 // Store.ExecBatchAppend additionally answers many queries on one pooled
 // reader — the fan-in form the setcontain/serve package's micro-batcher
 // dispatches through.
+//
+// # Durability and mutation
+//
+// The OIF is a disk-resident structure, and the package treats indexes
+// as restartable state. Index.Save writes a self-describing snapshot
+// container — engine kind, build options, pages or lists, pending
+// inserts, and tombstones, CRC-guarded throughout — and Open
+// reconstructs the right engine from it without the original dataset:
+//
+//	err := idx.Save(f)
+//	restored, err := setcontain.Open(f)
+//
+// Collections evolve in place: Insert adds records to a memory delta
+// (visible immediately), Delete tombstones them (masked immediately,
+// ids never reused), and MergeDelta folds both into the disk structures
+// — postings of deleted records are physically removed, while
+// CacheStats/DecodedCacheStats carry across the merge cumulatively.
+// OIF, InvertedFile, and Sharded support the full lifecycle; the UBT
+// ablation answers queries only.
 package setcontain

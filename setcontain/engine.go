@@ -17,9 +17,10 @@ import (
 // Engines are selected through the Kind registry (Build/New) or wrapped
 // directly with EngineOf; Index and Store are thin facades over one.
 //
-// Engines that lack a capability return the sentinel errors ErrNoUpdates
-// (Insert, MergeDelta) or ErrNoSnapshots (Save) rather than omitting the
-// method, so callers can feature-test with errors.Is.
+// Engines that lack a capability return an error wrapping the sentinels
+// ErrNoUpdates (Insert, Delete, MergeDelta) or ErrNoSnapshots (Save)
+// rather than omitting the method, so callers can feature-test with
+// errors.Is while the message names the offending engine kind.
 //
 // Pool and SetPool expose the engine's buffer pool for the in-module
 // measurement layer (the pool type lives in an internal package); they
@@ -46,8 +47,14 @@ type Engine interface {
 
 	// Insert adds a record to the in-memory delta, visible immediately.
 	Insert(set []Item) (uint32, error)
-	// MergeDelta folds pending inserts into the disk structures and
-	// re-attaches a fresh query cache (statistics reset to zero).
+	// Delete tombstones a record id: masked from answers immediately,
+	// physically removed by MergeDelta, never reused.
+	Delete(id uint32) error
+	// Deleted returns the number of tombstoned records.
+	Deleted() int
+	// MergeDelta folds pending inserts and tombstones into the disk
+	// structures and re-attaches a fresh query cache seeded with the
+	// previous cache's statistics (counters stay cumulative).
 	MergeDelta() error
 	// PendingInserts returns the number of unmerged inserts.
 	PendingInserts() int
@@ -159,15 +166,47 @@ func attachCache(b backend, pages int) error {
 	return b.SetPool(storage.NewBufferPool(b.Pool().Pager(), pages))
 }
 
+// capabilityError wraps a capability sentinel with the engine kind, so
+// errors.Is(err, ErrNoUpdates/ErrNoSnapshots) still matches while the
+// message identifies the offending engine.
+type capabilityError struct {
+	kind     Kind
+	sentinel error
+}
+
+func (e *capabilityError) Error() string {
+	switch e.sentinel {
+	case ErrNoUpdates:
+		return fmt.Sprintf("setcontain: %s engine does not support updates", e.kind)
+	case ErrNoSnapshots:
+		return fmt.Sprintf("setcontain: %s engine does not support snapshots", e.kind)
+	}
+	return fmt.Sprintf("setcontain: %s engine: %v", e.kind, e.sentinel)
+}
+
+func (e *capabilityError) Unwrap() error { return e.sentinel }
+
+// capErr returns kind's wrapped form of a capability sentinel.
+func capErr(kind Kind, sentinel error) error {
+	return &capabilityError{kind: kind, sentinel: sentinel}
+}
+
 // mergeAndRepool runs a backend's delta merge and re-attaches a fresh
 // cache of the previous capacity: the merge swaps the page file, so the
-// old pool (and its statistics) cannot carry over.
+// old pool's frames cannot carry over. Its statistics do — the new pool
+// is seeded with the pre-merge counters, keeping CacheStats cumulative
+// across merges.
 func mergeAndRepool(b backend, merge func() error) error {
 	capacity := b.Pool().Capacity()
+	pre := b.Pool().Stats()
 	if err := merge(); err != nil {
 		return err
 	}
-	return attachCache(b, capacity)
+	if err := attachCache(b, capacity); err != nil {
+		return err
+	}
+	b.Pool().AddStats(pre)
+	return nil
 }
 
 // wrapReader applies the default cache size and boxes a backend reader.
@@ -221,6 +260,8 @@ func attachOIF(ix *core.Index, opts Options) (Engine, error) {
 }
 
 func (e *oifEngine) Insert(set []Item) (uint32, error) { return e.ix().Insert(set) }
+func (e *oifEngine) Delete(id uint32) error            { return e.ix().Delete(id) }
+func (e *oifEngine) Deleted() int                      { return e.ix().Deleted() }
 func (e *oifEngine) MergeDelta() error                 { return mergeAndRepool(e.b, e.ix().MergeDelta) }
 func (e *oifEngine) PendingInserts() int               { return e.ix().DeltaLen() }
 
@@ -230,7 +271,11 @@ func (e *oifEngine) NewReader(cachePages int) (*Reader, error) {
 	})
 }
 
-func (e *oifEngine) Save(w io.Writer) error { return e.ix().Save(w) }
+// Save writes the self-describing engine container (see Open): the
+// header names the kind, the payload is the OIF's own snapshot stream.
+func (e *oifEngine) Save(w io.Writer) error {
+	return saveContainer(w, OIF, e.b.Pool().Capacity(), e.ix().Save)
+}
 
 func (e *oifEngine) Space() SpaceInfo {
 	s := e.ix().Space()
@@ -276,6 +321,8 @@ func buildInvEngine(ds *dataset.Dataset, opts Options) (Engine, error) {
 }
 
 func (e *invEngine) Insert(set []Item) (uint32, error) { return e.ix().Insert(set) }
+func (e *invEngine) Delete(id uint32) error            { return e.ix().Delete(id) }
+func (e *invEngine) Deleted() int                      { return e.ix().Deleted() }
 func (e *invEngine) MergeDelta() error                 { return mergeAndRepool(e.b, e.ix().MergeDelta) }
 func (e *invEngine) PendingInserts() int               { return e.ix().DeltaLen() }
 
@@ -285,7 +332,11 @@ func (e *invEngine) NewReader(cachePages int) (*Reader, error) {
 	})
 }
 
-func (e *invEngine) Save(io.Writer) error { return ErrNoSnapshots }
+// Save writes the self-describing engine container (see Open) with the
+// inverted file's versioned snapshot as payload.
+func (e *invEngine) Save(w io.Writer) error {
+	return saveContainer(w, InvertedFile, e.b.Pool().Capacity(), e.ix().Save)
+}
 
 func (e *invEngine) Space() SpaceInfo {
 	pages := e.ix().ListPages()
@@ -314,8 +365,10 @@ func buildUBTEngine(ds *dataset.Dataset, opts Options) (Engine, error) {
 	return &ubtEngine{baseEngine{b: ix, kind: UnorderedBTree}}, nil
 }
 
-func (e *ubtEngine) Insert([]Item) (uint32, error) { return 0, ErrNoUpdates }
-func (e *ubtEngine) MergeDelta() error             { return ErrNoUpdates }
+func (e *ubtEngine) Insert([]Item) (uint32, error) { return 0, capErr(UnorderedBTree, ErrNoUpdates) }
+func (e *ubtEngine) Delete(uint32) error           { return capErr(UnorderedBTree, ErrNoUpdates) }
+func (e *ubtEngine) Deleted() int                  { return 0 }
+func (e *ubtEngine) MergeDelta() error             { return capErr(UnorderedBTree, ErrNoUpdates) }
 func (e *ubtEngine) PendingInserts() int           { return 0 }
 
 func (e *ubtEngine) NewReader(cachePages int) (*Reader, error) {
@@ -324,6 +377,6 @@ func (e *ubtEngine) NewReader(cachePages int) (*Reader, error) {
 	})
 }
 
-func (e *ubtEngine) Save(io.Writer) error { return ErrNoSnapshots }
+func (e *ubtEngine) Save(io.Writer) error { return capErr(UnorderedBTree, ErrNoSnapshots) }
 
 func (e *ubtEngine) Space() SpaceInfo { return e.pagedSpace() }

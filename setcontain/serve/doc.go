@@ -15,7 +15,20 @@
 //	GET  /query    — single query via ?q=subset{3 17} (setcontain.ParseQuery)
 //	GET  /stream   — one query streamed chunk-by-chunk with flushes
 //	GET  /stats    — batcher histogram, store cache counters, shard plans
-//	GET  /healthz  — liveness plus index identity
+//	GET  /healthz  — liveness plus index identity and mutation state
+//
+// The /admin endpoints mutate the live collection (serialized by an
+// internal lock; queries keep flowing on the store's pooled readers):
+//
+//	POST /admin/insert   — add record sets to the delta, returns their ids
+//	POST /admin/delete   — tombstone record ids (masked immediately)
+//	POST /admin/merge    — fold delta + tombstones into the disk structures
+//	POST /admin/snapshot — stream a restorable snapshot container
+//
+// Each mutation refreshes the store, so answers served after the
+// response reflect it. The snapshot body is what `setcontaind
+// -snapshot` loads at boot — a warm daemon restarts without rebuilding
+// from the raw dataset.
 //
 // Answers stream as NDJSON chunks backed by the iter.Seq variants, so a
 // huge answer set never materializes in the response path. Admission is

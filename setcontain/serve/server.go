@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -31,8 +32,19 @@ type Server struct {
 
 	bufs sync.Pool // *[]uint32 answer buffers, recycled across requests
 
-	streamsServed  atomic.Int64
-	streamsAborted atomic.Int64
+	// admin serializes the mutating endpoints (insert, delete, merge,
+	// snapshot — a snapshot mutates the engine's own buffer pool while
+	// it reads) against each other and against the read-only handlers
+	// that inspect mutable index state (/healthz, /stats take the read
+	// side). Queries keep flowing — they run on the Store's pooled
+	// readers, and each individual mutation goes through Store.Update,
+	// which additionally excludes it from pooled-reader creation.
+	admin sync.RWMutex
+
+	streamsServed   atomic.Int64
+	streamsAborted  atomic.Int64
+	snapshotsServed atomic.Int64
+	snapshotsFailed atomic.Int64
 }
 
 // NewServer wraps idx and its store in a serving layer configured by
@@ -61,12 +73,17 @@ func (s *Server) Close() { s.batcher.Close() }
 // Handler returns the route mux:
 //
 //	POST /query, GET /query?q=…, GET /stream?q=…, GET /stats, GET /healthz
+//	POST /admin/insert, /admin/delete, /admin/merge, /admin/snapshot
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/stream", s.handleStream)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/admin/insert", s.handleInsert)
+	mux.HandleFunc("/admin/delete", s.handleDelete)
+	mux.HandleFunc("/admin/merge", s.handleMerge)
+	mux.HandleFunc("/admin/snapshot", s.handleSnapshot)
 	return mux
 }
 
@@ -268,7 +285,11 @@ func (s *Server) streamSeq(ctx context.Context, w http.ResponseWriter, flusher h
 }
 
 // handleStats reports the serving-side counters; see StatsResponse.
+// The shard plans live in mutable engine state (Insert bumps per-shard
+// record counts), so the handler holds the admin read lock.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.admin.RLock()
+	defer s.admin.RUnlock()
 	bst := s.batcher.Stats()
 	sst := s.store.Stats()
 	resp := StatsResponse{
@@ -292,6 +313,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Served:  s.streamsServed.Load(),
 			Aborted: s.streamsAborted.Load(),
 		},
+		Snapshots: SnapshotStatsJSON{
+			Served: s.snapshotsServed.Load(),
+			Failed: s.snapshotsFailed.Load(),
+		},
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	}
 	for _, p := range setcontain.ShardPlans(s.idx.Engine()) {
@@ -306,14 +331,156 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// handleHealthz reports liveness plus the served index's identity.
+// handleHealthz reports liveness plus the served index's identity. The
+// record/pending/deleted gauges read mutable index state, hence the
+// admin read lock.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.admin.RLock()
+	defer s.admin.RUnlock()
 	writeJSON(w, HealthResponse{
 		OK:      true,
 		Kind:    s.idx.Kind().String(),
 		Records: s.idx.NumRecords(),
 		Domain:  s.idx.Engine().DomainSize(),
+		Pending: s.idx.PendingInserts(),
+		Deleted: s.idx.Deleted(),
 	})
+}
+
+// decodeAdminBody decodes a POST body into v with the same limits and
+// strictness as the query path; a false return means the response was
+// already written.
+func decodeAdminBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "serve: POST only", http.StatusMethodNotAllowed)
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("serve: decoding request: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// handleInsert adds records to the live index's delta, refreshes the
+// store so pooled readers see them, and reports the assigned ids. On a
+// mid-batch failure the earlier inserts of the request stick; the error
+// names the failing set.
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req InsertRequest
+	if !decodeAdminBody(w, r, &req) {
+		return
+	}
+	if len(req.Sets) == 0 {
+		http.Error(w, "serve: request carries no sets", http.StatusBadRequest)
+		return
+	}
+	s.admin.Lock()
+	defer s.admin.Unlock()
+	ids := make([]uint32, 0, len(req.Sets))
+	err := s.store.Update(func() error {
+		for i, set := range req.Sets {
+			id, err := s.idx.Insert(set)
+			if err != nil {
+				return fmt.Errorf("serve: inserting set %d (after %d inserted): %w", i, len(ids), err)
+			}
+			ids = append(ids, id)
+		}
+		return nil
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, InsertResponse{IDs: ids})
+}
+
+// handleDelete tombstones records on the live index and refreshes the
+// store, so the ids vanish from every answer served after the response.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req DeleteRequest
+	if !decodeAdminBody(w, r, &req) {
+		return
+	}
+	if len(req.IDs) == 0 {
+		http.Error(w, "serve: request carries no ids", http.StatusBadRequest)
+		return
+	}
+	s.admin.Lock()
+	defer s.admin.Unlock()
+	err := s.store.Update(func() error {
+		for i, id := range req.IDs {
+			if err := s.idx.Delete(id); err != nil {
+				return fmt.Errorf("serve: deleting id %d (after %d deleted): %w", id, i, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, DeleteResponse{Deleted: len(req.IDs)})
+}
+
+// handleMerge folds pending inserts and tombstones into the disk
+// structures (setcontain.Index.MergeDelta) and refreshes the store.
+func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "serve: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.admin.Lock()
+	defer s.admin.Unlock()
+	if err := s.store.Update(s.idx.MergeDelta); err != nil {
+		http.Error(w, fmt.Sprintf("serve: merge: %v", err), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, AdminStateResponse{
+		Records: s.idx.NumRecords(),
+		Pending: s.idx.PendingInserts(),
+		Deleted: s.idx.Deleted(),
+	})
+}
+
+// handleSnapshot streams the index's self-describing snapshot container
+// as the response body — `curl -X POST …/admin/snapshot -o idx.snap`
+// captures a file that `setcontaind -snapshot idx.snap` (or
+// setcontain.Open) restores without the original dataset. The admin
+// lock keeps mutations out while the pages stream; queries keep being
+// served.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "serve: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	// Serialize into memory under the lock, then stream with the lock
+	// released: the mutation endpoints are blocked only for local
+	// encoding time, never for a slow client's download. (The sharded
+	// container already buffers per-shard payloads, so this adds no new
+	// peak for the largest configurations.)
+	s.admin.Lock()
+	var snap bytes.Buffer
+	err := s.idx.Save(&snap)
+	s.admin.Unlock()
+	if err != nil {
+		http.Error(w, fmt.Sprintf("serve: snapshot: %v", err), http.StatusInternalServerError)
+		s.snapshotsFailed.Add(1)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", "attachment; filename=index.snap")
+	w.Header().Set("Content-Length", fmt.Sprint(snap.Len()))
+	if _, err := snap.WriteTo(w); err != nil {
+		// Headers are gone; the short body fails the client's length and
+		// CRC checks, which is the detection path snapshots are built
+		// around.
+		s.snapshotsFailed.Add(1)
+		return
+	}
+	s.snapshotsServed.Add(1)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

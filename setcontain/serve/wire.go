@@ -66,9 +66,41 @@ type Result struct {
 // HealthResponse is the GET /healthz body.
 type HealthResponse struct {
 	OK      bool   `json:"ok"`
-	Kind    string `json:"kind"`    // engine kind serving the index
-	Records int    `json:"records"` // indexed records
-	Domain  int    `json:"domain"`  // vocabulary size
+	Kind    string `json:"kind"`            // engine kind serving the index
+	Records int    `json:"records"`         // indexed records (tombstoned slots included)
+	Domain  int    `json:"domain"`          // vocabulary size
+	Pending int    `json:"pending_inserts"` // unmerged inserts
+	Deleted int    `json:"deleted"`         // tombstoned records
+}
+
+// InsertRequest is the POST /admin/insert body: one or more record sets
+// to add to the live index's delta.
+type InsertRequest struct {
+	Sets [][]setcontain.Item `json:"sets"`
+}
+
+// InsertResponse reports the ids assigned to the inserted records, in
+// request order.
+type InsertResponse struct {
+	IDs []uint32 `json:"ids"`
+}
+
+// DeleteRequest is the POST /admin/delete body: record ids to tombstone.
+type DeleteRequest struct {
+	IDs []uint32 `json:"ids"`
+}
+
+// DeleteResponse reports how many records the request tombstoned.
+type DeleteResponse struct {
+	Deleted int `json:"deleted"`
+}
+
+// AdminStateResponse reports the index's mutation state after an admin
+// operation (the POST /admin/merge body, and useful to poll).
+type AdminStateResponse struct {
+	Records int `json:"records"`         // indexed records (tombstoned slots included)
+	Pending int `json:"pending_inserts"` // unmerged inserts
+	Deleted int `json:"deleted"`         // tombstoned records
 }
 
 // StatsResponse is the GET /stats body: everything a load test or
@@ -87,6 +119,9 @@ type StatsResponse struct {
 	// Streams counts GET /stream requests served and aborted
 	// (client disconnect or error mid-stream).
 	Streams StreamStatsJSON `json:"streams"`
+	// Snapshots counts POST /admin/snapshot downloads completed and
+	// failed (client disconnect or write error mid-container).
+	Snapshots SnapshotStatsJSON `json:"snapshots"`
 	// UptimeSeconds is the seconds since the server was created.
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
@@ -125,4 +160,10 @@ type ShardPlanJSON struct {
 type StreamStatsJSON struct {
 	Served  int64 `json:"served"`
 	Aborted int64 `json:"aborted"`
+}
+
+// SnapshotStatsJSON counts the /admin/snapshot endpoint's outcomes.
+type SnapshotStatsJSON struct {
+	Served int64 `json:"served"`
+	Failed int64 `json:"failed"`
 }

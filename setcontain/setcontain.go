@@ -149,52 +149,64 @@ func (ix *Index) Eval(q Query) ([]uint32, error) { return q.Eval(ix.eng) }
 var ErrNoUpdates = errors.New("setcontain: engine does not support updates")
 
 // Insert adds a record to the engine's in-memory delta (visible to
-// queries immediately) and returns its id. Supported by OIF and
-// InvertedFile; call MergeDelta to fold the delta into the disk
-// structures.
+// queries immediately) and returns its id. Supported by OIF,
+// InvertedFile, and Sharded; call MergeDelta to fold the delta into the
+// disk structures.
 func (ix *Index) Insert(set []Item) (uint32, error) { return ix.eng.Insert(set) }
 
-// MergeDelta folds pending inserts into the disk structures: a cheap list
-// append for InvertedFile, a full re-sort and rebuild for OIF (§4.4 of
-// the paper).
+// Delete tombstones the record with the given id: it disappears from
+// every subsequent answer immediately, its postings are physically
+// removed from the disk lists by the next MergeDelta, and its id is
+// never reused. Supported by the engines that support Insert. Readers
+// created before the delete (including a Store's pooled readers) still
+// serve their original snapshot — call Store.Refresh after deleting,
+// exactly as after Insert.
+func (ix *Index) Delete(id uint32) error { return ix.eng.Delete(id) }
+
+// Deleted returns the number of tombstoned records.
+func (ix *Index) Deleted() int { return ix.eng.Deleted() }
+
+// MergeDelta folds pending inserts and tombstones into the disk
+// structures: a cheap list append (plus a list rewrite when deletions
+// are pending) for InvertedFile, a full re-sort and rebuild for OIF
+// (§4.4 of the paper).
 //
 // Merging swaps the engine's page file, so a fresh query cache of the
-// same capacity is attached afterwards: CacheStats silently resets to
-// zero, and its contents start cold. Snapshot CacheStats before merging
-// if the pre-merge I/O counts matter, and create new Readers (or call
-// Store.Refresh) so parallel handles see the merged records.
+// same capacity is attached afterwards. The fresh cache is seeded with
+// the pre-merge counters, so CacheStats and DecodedCacheStats stay
+// cumulative across merges; the cache contents start cold either way.
+// Create new Readers (or call Store.Refresh) so parallel handles see
+// the merged records.
 func (ix *Index) MergeDelta() error { return ix.eng.MergeDelta() }
 
 // PendingInserts returns the number of unmerged inserts.
 func (ix *Index) PendingInserts() int { return ix.eng.PendingInserts() }
 
 // ErrNoSnapshots reports an engine without snapshot support.
-var ErrNoSnapshots = errors.New("setcontain: only the OIF engine supports snapshots")
+var ErrNoSnapshots = errors.New("setcontain: engine does not support snapshots")
 
-// Save writes a self-contained snapshot of an OIF index (pages, ordering,
-// metadata, pending inserts) guarded by a CRC trailer. Baseline engines
-// rebuild quickly from their collections and do not support snapshots.
+// Save writes a self-contained, self-describing snapshot of the index:
+// a container header naming the engine kind followed by the engine's
+// own versioned payload (pages or lists, ordering, metadata, pending
+// inserts, tombstones), guarded by CRC trailers. Open reconstructs the
+// index from it without the original dataset. Supported by OIF,
+// InvertedFile, and Sharded; the UBT ablation rebuilds quickly from its
+// collection and does not snapshot.
 func (ix *Index) Save(w io.Writer) error { return ix.eng.Save(w) }
 
-// LoadIndex reconstructs an OIF index from a snapshot produced by Save.
-// Only opts.CachePages is consulted (0 selects the default 32 KB cache).
+// LoadIndex reconstructs an index from a snapshot produced by Save.
+// Only opts.CachePages is consulted (0 keeps the snapshot's recorded
+// cache budget).
+//
+// Deprecated: use Open, which reads the same container format and
+// accepts functional options.
 func LoadIndex(r io.Reader, opts Options) (*Index, error) {
-	oif, err := core.Load(r)
-	if err != nil {
-		return nil, err
-	}
-	opts.Kind = OIF
-	opts.fill()
-	eng, err := attachOIF(oif, opts)
-	if err != nil {
-		return nil, err
-	}
-	return &Index{eng: eng}, nil
+	return Open(r, WithCachePages(opts.CachePages))
 }
 
 // CacheStats reports the index's I/O behaviour since the last reset.
-// Note that MergeDelta swaps the engine's page file and re-attaches a
-// fresh cache, which zeroes these counters — see Index.MergeDelta.
+// Counters are cumulative across MergeDelta: the post-merge cache is
+// seeded with the pre-merge totals.
 type CacheStats struct {
 	Hits       int64 // page requests served from cache
 	PageReads  int64 // pages fetched from storage ("disk page accesses")

@@ -2,6 +2,7 @@ package setcontain
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -238,10 +239,10 @@ func TestInsertAndMergeAcrossKinds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ub.Insert([]Item{1}); err != ErrNoUpdates {
+	if _, err := ub.Insert([]Item{1}); !errors.Is(err, ErrNoUpdates) {
 		t.Fatalf("UBT Insert err = %v", err)
 	}
-	if err := ub.MergeDelta(); err != ErrNoUpdates {
+	if err := ub.MergeDelta(); !errors.Is(err, ErrNoUpdates) {
 		t.Fatalf("UBT MergeDelta err = %v", err)
 	}
 	if ub.PendingInserts() != 0 {
@@ -278,13 +279,21 @@ func TestSaveLoadPublicAPI(t *testing.T) {
 	if len(a) != len(b) {
 		t.Fatalf("answers diverged after reload: %d vs %d", len(a), len(b))
 	}
-	// Non-OIF kinds refuse snapshots.
+	// The inverted file snapshots through the same container format.
 	inv, err := Build(c, Options{Kind: InvertedFile, PageSize: 512})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := inv.Save(&buf); err != ErrNoSnapshots {
+	buf.Reset()
+	if err := inv.Save(&buf); err != nil {
 		t.Fatalf("IF Save err = %v", err)
+	}
+	invBack, err := Open(&buf)
+	if err != nil {
+		t.Fatalf("IF Open err = %v", err)
+	}
+	if invBack.Kind() != InvertedFile {
+		t.Fatalf("IF reload kind = %v", invBack.Kind())
 	}
 	// Garbage input fails cleanly.
 	if _, err := LoadIndex(bytes.NewReader([]byte("junk")), Options{}); err == nil {

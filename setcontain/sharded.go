@@ -3,7 +3,6 @@ package setcontain
 import (
 	"errors"
 	"fmt"
-	"io"
 	"iter"
 	"runtime"
 	"sync"
@@ -51,6 +50,13 @@ type shardedEngine struct {
 	shards []Engine
 	plans  []ShardPlan
 	domain int
+
+	// nextID is the round-robin partition counter: the highest global id
+	// handed out so far (tombstoned slots included). Insert routes by it
+	// and advances it only on success — a failed shard insert must leave
+	// the global-id ↔ shard mapping exactly where it was, or every later
+	// record would land on the wrong shard.
+	nextID uint32
 }
 
 // errShardedPool reports that the sharded engine has no single buffer
@@ -94,37 +100,50 @@ func buildShardedEngine(ds *dataset.Dataset, opts Options) (Engine, error) {
 		plans:  make([]ShardPlan, n),
 		domain: ds.DomainSize(),
 	}
-	var (
-		wg   sync.WaitGroup
-		sem  = make(chan struct{}, par)
-		mu   sync.Mutex
-		fail error
-	)
+	errs := forEachShard(n, par, func(s int) error {
+		shardEng, plan, err := buildShard(subs[s], colls[s], opts)
+		if err != nil {
+			return err
+		}
+		plan.Shard = s
+		eng.shards[s] = shardEng
+		eng.plans[s] = plan
+		return nil
+	})
+	for s, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("setcontain: shard %d: %w", s, err)
+		}
+	}
+	eng.nextID = uint32(ds.Len())
+	return eng, nil
+}
+
+// forEachShard runs f for every shard index concurrently, bounded by at
+// most `bound` goroutines (<= 0 selects GOMAXPROCS), and returns the
+// per-shard errors. It is the one fan-out loop behind parallel shard
+// builds, merges, and snapshot encode/decode.
+func forEachShard(n, bound int, f func(s int) error) []error {
+	if bound <= 0 {
+		bound = runtime.GOMAXPROCS(0)
+	}
+	if bound > n {
+		bound = n
+	}
+	errs := make([]error, n)
+	sem := make(chan struct{}, bound)
+	var wg sync.WaitGroup
 	for s := 0; s < n; s++ {
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(s int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			shardEng, plan, err := buildShard(subs[s], colls[s], opts)
-			if err != nil {
-				mu.Lock()
-				if fail == nil {
-					fail = fmt.Errorf("setcontain: shard %d: %w", s, err)
-				}
-				mu.Unlock()
-				return
-			}
-			plan.Shard = s
-			eng.shards[s] = shardEng
-			eng.plans[s] = plan
+			errs[s] = f(s)
 		}(s)
 	}
 	wg.Wait()
-	if fail != nil {
-		return nil, fail
-	}
-	return eng, nil
+	return errs
 }
 
 // buildShard plans and builds one shard's inner engine from its profiled
@@ -182,6 +201,7 @@ func shardedOf(shards []Engine) (Engine, error) {
 	for s, sh := range shards {
 		eng.plans[s] = ShardPlan{Shard: s, Kind: sh.Kind(), Records: sh.NumRecords()}
 	}
+	eng.nextID = uint32(eng.NumRecords())
 	return eng, nil
 }
 
@@ -336,10 +356,13 @@ func (e *shardedEngine) Superset(qs []Item) ([]uint32, error) {
 
 // Insert routes the record to the shard the round-robin partition
 // assigns its global id, so the id mapping stays exact across updates.
+// The partition counter advances only after the shard accepted the
+// record: an error leaves the mapping untouched, so the next Insert
+// retries the same global id on the same shard.
 func (e *shardedEngine) Insert(set []Item) (uint32, error) {
 	n := len(e.shards)
-	global := uint32(e.NumRecords() + 1)
-	s := int(global-1) % n
+	global := e.nextID + 1
+	s := int((global - 1) % uint32(n))
 	local, err := e.shards[s].Insert(set)
 	if err != nil {
 		return 0, err
@@ -348,23 +371,37 @@ func (e *shardedEngine) Insert(set []Item) (uint32, error) {
 		return 0, fmt.Errorf("setcontain: shard %d id drift: local %d maps to %d, want %d",
 			s, local, mapped, global)
 	}
+	e.nextID = global
 	e.plans[s].Records++
 	return global, nil
 }
 
-// MergeDelta folds every shard's pending inserts in parallel.
-func (e *shardedEngine) MergeDelta() error {
-	errs := make([]error, len(e.shards))
-	var wg sync.WaitGroup
-	for s := range e.shards {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			errs[s] = e.shards[s].MergeDelta()
-		}(s)
+// Delete routes the tombstone to the shard owning the global id via the
+// inverse round-robin mapping; the masked id never surfaces from any
+// shard's stream again.
+func (e *shardedEngine) Delete(id uint32) error {
+	if id == 0 || id > e.nextID {
+		return fmt.Errorf("setcontain: delete of unknown record %d (have %d)", id, e.nextID)
 	}
-	wg.Wait()
-	return errors.Join(errs...)
+	n := uint32(len(e.shards))
+	return e.shards[(id-1)%n].Delete((id-1)/n + 1)
+}
+
+// Deleted sums the shards' tombstone counts.
+func (e *shardedEngine) Deleted() int {
+	total := 0
+	for _, sh := range e.shards {
+		total += sh.Deleted()
+	}
+	return total
+}
+
+// MergeDelta folds every shard's pending inserts and tombstones in
+// parallel.
+func (e *shardedEngine) MergeDelta() error {
+	return errors.Join(forEachShard(len(e.shards), 0, func(s int) error {
+		return e.shards[s].MergeDelta()
+	})...)
 }
 
 func (e *shardedEngine) PendingInserts() int {
@@ -391,8 +428,6 @@ func (e *shardedEngine) NewReader(cachePages int) (*Reader, error) {
 	}
 	return &Reader{r: sr}, nil
 }
-
-func (e *shardedEngine) Save(io.Writer) error { return ErrNoSnapshots }
 
 func (e *shardedEngine) Space() SpaceInfo {
 	var total SpaceInfo

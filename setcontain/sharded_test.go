@@ -1,6 +1,7 @@
 package setcontain
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -307,6 +308,103 @@ func TestShardedStoreParallelCancel(t *testing.T) {
 	}
 }
 
+// flakyEngine wraps a real Engine, failing Insert while armed — the
+// injection harness for the routing-drift regression test.
+type flakyEngine struct {
+	Engine
+	failInserts bool
+}
+
+var errInjected = errors.New("injected shard failure")
+
+func (f *flakyEngine) Insert(set []Item) (uint32, error) {
+	if f.failInserts {
+		return 0, errInjected
+	}
+	return f.Engine.Insert(set)
+}
+
+// TestShardedInsertFailureKeepsRouting is the regression test for the
+// round-robin counter bug: a failed shard Insert must not advance the
+// partition counter, or every subsequent record lands on the wrong
+// shard and the global-id ↔ shard mapping drifts. After the injected
+// failure clears, inserts must resume with the exact ids and placement
+// a never-failing engine produces.
+func TestShardedInsertFailureKeepsRouting(t *testing.T) {
+	const domain = 30
+	c := skewedCollection(t, 300, domain, 0.8, 71)
+	reference, err := New(c, WithKind(Sharded), WithShards(3), WithPageSize(512), WithBlockPostings(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := New(c, WithKind(Sharded), WithShards(3), WithPageSize(512), WithBlockPostings(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrap the victim's shards with the failure-injecting decorator.
+	inner := victim.Engine().Unwrap().([]Engine)
+	flaky := make([]*flakyEngine, len(inner))
+	wrapped := make([]Engine, len(inner))
+	for i, sh := range inner {
+		flaky[i] = &flakyEngine{Engine: sh}
+		wrapped[i] = flaky[i]
+	}
+	eng, err := EngineOf(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim = IndexOver(eng)
+
+	insertBoth := func(set []Item) {
+		t.Helper()
+		want, err := reference.Insert(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := victim.Insert(set)
+		if err != nil {
+			t.Fatalf("victim insert: %v", err)
+		}
+		if got != want {
+			t.Fatalf("insert id drifted after failure: got %d, want %d", got, want)
+		}
+	}
+	insertBoth([]Item{1, 2})
+	insertBoth([]Item{2, 3})
+
+	// Arm every shard: the next victim insert fails wherever it routes.
+	for _, f := range flaky {
+		f.failInserts = true
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := victim.Insert([]Item{4, 5}); !errors.Is(err, errInjected) {
+			t.Fatalf("armed insert %d: got %v, want injected failure", i, err)
+		}
+	}
+	for _, f := range flaky {
+		f.failInserts = false
+	}
+
+	// Routing must resume exactly where it left off.
+	insertBoth([]Item{4, 5})
+	insertBoth([]Item{5, 6})
+	insertBoth([]Item{6, 7})
+
+	for _, q := range zipfWorkload(60, domain, 0.8, 72) {
+		want, err := reference.Eval(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := victim.Eval(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(got, want) && !(len(got) == 0 && len(want) == 0) {
+			t.Fatalf("%s: answers diverged after injected failure: %v vs %v", q, got, want)
+		}
+	}
+}
+
 // TestMergeSeqs checks the k-way merge against a sort-based reference,
 // including empty, nil, and abandoned-early iteration.
 func TestMergeSeqs(t *testing.T) {
@@ -364,8 +462,17 @@ func TestShardedCapabilities(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := ix.Engine()
-	if err := eng.Save(nil); !errors.Is(err, ErrNoSnapshots) {
-		t.Errorf("Save: got %v, want ErrNoSnapshots", err)
+	var snap bytes.Buffer
+	if err := eng.Save(&snap); err != nil {
+		t.Errorf("Save: %v", err)
+	} else {
+		back, err := Open(bytes.NewReader(snap.Bytes()))
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		if back.Kind() != Sharded || back.NumRecords() != c.Len() {
+			t.Errorf("reloaded sharded: kind %v, records %d", back.Kind(), back.NumRecords())
+		}
 	}
 	if err := eng.SetPool(nil); err == nil {
 		t.Error("SetPool succeeded, want per-shard pool error")

@@ -22,14 +22,25 @@ import (
 // a cancelled query stops all shard fan-outs mid-stream.
 //
 // A Store serves the snapshot its readers were created from. After
-// Insert or MergeDelta on the underlying Index, call Refresh to retire
-// pooled readers so subsequent queries see the new records; do not
-// update the Index concurrently with Store calls.
+// Insert, Delete, or MergeDelta on the underlying Index, call Refresh
+// to retire pooled readers so subsequent queries see the change. To
+// mutate the Index while queries are in flight, wrap the mutation in
+// Update — it excludes the store's reader creation (which snapshots the
+// Index's state) for the mutation's duration and refreshes afterwards;
+// mutating the Index directly is only safe when no Store call can run
+// concurrently.
 type Store struct {
 	ix         *Index
 	cachePages int
 	gen        atomic.Uint64
 	readers    sync.Pool // of *storeReader
+
+	// mu excludes Index mutations (Update's write side) from pooled
+	// reader creation (acquire's read side): NewReader snapshots the
+	// Index's mutable state, so it must not observe a half-applied
+	// Insert/Delete/MergeDelta. Pooled readers already created are
+	// isolated clones and need no lock.
+	mu sync.RWMutex
 
 	// Aggregate statistics over all pooled readers, accumulated at
 	// release time (see storeReader's last* snapshots). Per-field
@@ -101,8 +112,22 @@ func NewStore(ix *Index, cachePages int) *Store {
 
 // Refresh retires the pooled readers: queries issued after Refresh run
 // on readers created from the index's current state. Call it after
-// Insert or MergeDelta on the underlying Index.
+// Insert, Delete, or MergeDelta on the underlying Index.
 func (s *Store) Refresh() { s.gen.Add(1) }
+
+// Update runs fn — a mutation of the underlying Index such as Insert,
+// Delete, or MergeDelta — while no pooled reader is being created, then
+// refreshes the store so subsequent queries observe the change. This is
+// the safe way to mutate a served index: in-flight queries keep running
+// on their isolated readers, new queries wait only for the mutation
+// itself. The serve package's /admin endpoints mutate through it.
+func (s *Store) Update(fn func() error) error {
+	s.mu.Lock()
+	err := fn()
+	s.mu.Unlock()
+	s.Refresh()
+	return err
+}
 
 // acquire returns a reader of the current generation, creating one when
 // the pool is empty or holds only stale snapshots.
@@ -118,7 +143,9 @@ func (s *Store) acquire() (*storeReader, error) {
 		}
 		// Stale snapshot: drop it and keep looking.
 	}
+	s.mu.RLock()
 	r, err := s.ix.NewReader(s.cachePages)
+	s.mu.RUnlock()
 	if err != nil {
 		return nil, err
 	}
