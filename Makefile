@@ -5,7 +5,7 @@ GOLANGCI ?= golangci-lint
 COVER_FLOOR ?= 75
 COVER_PKGS = ./setcontain/... ./internal/stats/...
 
-.PHONY: all build vet test bench bench-baseline bench-compare lint cover check linkcheck vet-examples serve snapshot-smoke
+.PHONY: all build vet test bench bench-baseline bench-compare lint cover check linkcheck vet-examples serve snapshot-smoke crash-smoke
 
 all: check
 
@@ -77,6 +77,13 @@ serve:
 # clean and with pending inserts + tombstones. The CI matrix runs this.
 snapshot-smoke:
 	./scripts/snapshot-smoke.sh
+
+# Durability under fire: start setcontaind with a write-ahead log, apply
+# acknowledged mutations over HTTP, kill -9, restart, and verify every
+# acknowledged write survived (then again across a checkpoint). The CI
+# matrix runs this.
+crash-smoke:
+	./scripts/crash-smoke.sh
 
 cover:
 	$(GO) test -coverprofile=coverage.out $(COVER_PKGS)

@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "one of: all (= every paper artefact: fig7-fig10, space, ordering, summary, ablations), concurrency (extra-paper Store sweep), sharding (Sharded engine scale-out sweep), serve (HTTP serving-layer load sweep), or restore (snapshot save/load round-trip timing)")
+		experiment = flag.String("experiment", "all", "one of: all (= every paper artefact: fig7-fig10, space, ordering, summary, ablations), concurrency (extra-paper Store sweep), sharding (Sharded engine scale-out sweep), serve (HTTP serving-layer load sweep), restore (snapshot save/load round-trip timing), or recovery (WAL ack latency per fsync policy + crash-replay timing)")
 		engine     = flag.String("engine", "oif", "engine for -experiment concurrency: oif, if, ubt, or sharded")
 		workers    = flag.Int("workers", 8, "max goroutines for -experiment concurrency (swept 1,2,4,...), the -experiment sharding query load, and the -experiment serve client sweep")
 		addr       = flag.String("addr", "", "for -experiment serve: a live setcontaind base URL (empty starts an in-process server)")
@@ -85,6 +85,8 @@ func main() {
 		_, err = experiments.RunServe(cfg, *workers, *addr)
 	case "restore":
 		_, err = experiments.RunRestore(cfg)
+	case "recovery":
+		_, err = experiments.RunRecovery(cfg)
 	default:
 		fmt.Fprintf(os.Stderr, "oifbench: unknown experiment %q\n", *experiment)
 		flag.Usage()

@@ -32,12 +32,14 @@ import (
 	"flag"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"math/rand"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/wal"
 	"repro/setcontain"
 )
 
@@ -97,17 +99,13 @@ func main() {
 	}
 	fmt.Printf("built in %v; type 'help' for commands\n", time.Since(start).Round(time.Millisecond))
 	if *savePath != "" {
-		f, err := os.Create(*savePath)
+		// Crash-atomic: the container lands under a temp name, is
+		// fsynced, and renames into place — a crash mid-save can never
+		// leave a torn snapshot where a good one (or nothing) was.
+		err := wal.WriteFileAtomic(wal.OSFS{}, *savePath, func(w io.Writer) error {
+			return idx.Save(w)
+		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "oifquery: %v\n", err)
-			os.Exit(1)
-		}
-		if err := idx.Save(f); err != nil {
-			f.Close()
-			fmt.Fprintf(os.Stderr, "oifquery: save: %v\n", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "oifquery: save: %v\n", err)
 			os.Exit(1)
 		}

@@ -16,9 +16,22 @@
 // instead of rebuilding from a raw dataset — the restart path for a
 // warm production daemon.
 //
+// With -wal-dir the daemon is durable: every /admin/insert and
+// /admin/delete is written to a write-ahead log in that directory and
+// acknowledged only once durable per -fsync (always, interval, or os),
+// and on restart the daemon restores the newest checkpoint snapshot and
+// replays the log tail — an acknowledged write survives kill -9 and
+// power loss (under -fsync always). The dataset/-snapshot flags seed
+// the directory on first boot and are ignored afterwards; a checkpoint
+// folds the log into a fresh snapshot automatically every
+// -checkpoint-bytes of log, or on POST /admin/checkpoint.
+//
+//	setcontaind -synthetic 100000 -wal-dir /var/lib/setcontain -fsync always
+//
 // Endpoints: POST /query (batch, NDJSON answers), GET /query?q=…,
 // GET /stream?q=… (flushed chunks), GET /stats, GET /healthz, plus the
-// mutation surface POST /admin/{insert,delete,merge,snapshot}. Try it:
+// mutation surface POST /admin/{insert,delete,merge,snapshot,checkpoint}.
+// Try it:
 //
 //	curl -sg 'localhost:8080/query?q=subset{3+17}'
 //	curl -s -d '{"queries":[{"pred":"superset","items":[1,2,3]}]}' localhost:8080/query
@@ -41,6 +54,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/wal"
 	"repro/setcontain"
 	"repro/setcontain/serve"
 )
@@ -66,6 +80,12 @@ func main() {
 		cache     = flag.Int("cachepages", 0, "page cache per pooled reader, in pages (0 = 32 KB)")
 		decoded   = flag.Int("decodedcache", 0, "decoded-block cache per query handle, in postings (0 = default, <0 disables)")
 
+		walDir     = flag.String("wal-dir", "", "write-ahead log directory; mutations become durable and restarts recover from it")
+		fsync      = flag.String("fsync", "always", "WAL fsync policy: always (ack = durable), interval (background flush), or os (no fsync)")
+		fsyncEvery = flag.Duration("fsync-interval", 0, "background flush period under -fsync interval (0 = 25ms)")
+		walSegment = flag.Int64("wal-segment", 0, "WAL segment rotation threshold in bytes (0 = 4MB)")
+		ckptBytes  = flag.Int64("checkpoint-bytes", 0, "log bytes between automatic checkpoints (0 = 64MB, negative disables)")
+
 		maxBatch    = flag.Int("maxbatch", 0, "max queries per coalesced dispatch (0 = 64)")
 		linger      = flag.Duration("linger", 0, "max wait to fill a batch (0 = 500µs, negative disables)")
 		maxPending  = flag.Int("maxpending", 0, "admission bound on queued queries (0 = 4x maxbatch)")
@@ -74,22 +94,23 @@ func main() {
 	)
 	flag.Parse()
 
-	var idx *setcontain.Index
-	if *snapshot != "" {
-		f, err := os.Open(*snapshot)
-		if err != nil {
-			log.Fatalf("setcontaind: %v", err)
+	build := func() *setcontain.Index {
+		if *snapshot != "" {
+			f, err := os.Open(*snapshot)
+			if err != nil {
+				log.Fatalf("setcontaind: %v", err)
+			}
+			restoreStart := time.Now()
+			idx, err := setcontain.Open(f, setcontain.WithCachePages(*cache))
+			f.Close()
+			if err != nil {
+				log.Fatalf("setcontaind: loading snapshot: %v", err)
+			}
+			log.Printf("restored %s index (%d records, %d pending, %d deleted) from %s in %v",
+				idx.Kind(), idx.NumRecords(), idx.PendingInserts(), idx.Deleted(),
+				*snapshot, time.Since(restoreStart).Round(time.Millisecond))
+			return idx
 		}
-		restoreStart := time.Now()
-		idx, err = setcontain.Open(f, setcontain.WithCachePages(*cache))
-		f.Close()
-		if err != nil {
-			log.Fatalf("setcontaind: loading snapshot: %v", err)
-		}
-		log.Printf("restored %s index (%d records, %d pending, %d deleted) from %s in %v",
-			idx.Kind(), idx.NumRecords(), idx.PendingInserts(), idx.Deleted(),
-			*snapshot, time.Since(restoreStart).Round(time.Millisecond))
-	} else {
 		coll, source, err := loadCollection(*data, *msweb, *replicas, *synthetic, *domain, *zipf, *seed)
 		if err != nil {
 			log.Fatalf("setcontaind: %v", err)
@@ -100,7 +121,7 @@ func main() {
 		}
 
 		buildStart := time.Now()
-		idx, err = setcontain.New(coll,
+		idx, err := setcontain.New(coll,
 			setcontain.WithKind(kind),
 			setcontain.WithShards(*shards),
 			setcontain.WithPageSize(*pageSize),
@@ -113,18 +134,62 @@ func main() {
 		}
 		log.Printf("indexed %d records over %d items from %s: %s in %v",
 			coll.Len(), coll.DomainSize(), source, kind, time.Since(buildStart).Round(time.Millisecond))
+		return idx
+	}
+
+	var (
+		idx     *setcontain.Index
+		store   *setcontain.Store
+		durable *setcontain.Durable
+	)
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsync)
+		if err != nil {
+			log.Fatalf("setcontaind: %v", err)
+		}
+		dopts := setcontain.DurableOptions{
+			CachePages:      *cache,
+			SegmentBytes:    *walSegment,
+			Sync:            policy,
+			SyncEvery:       *fsyncEvery,
+			CheckpointBytes: *ckptBytes,
+			Logf:            log.Printf,
+		}
+		openStart := time.Now()
+		durable, err = setcontain.OpenDurable(*walDir, dopts)
+		switch {
+		case err == nil:
+			st := durable.Stats()
+			log.Printf("recovered %s index (%d records) from %s in %v: checkpoint lsn %d, %d log records replayed",
+				durable.Index().Kind(), durable.Index().NumRecords(), *walDir,
+				time.Since(openStart).Round(time.Millisecond), st.CheckpointLSN, st.Replay.Records)
+		case errors.Is(err, setcontain.ErrNoCheckpoint):
+			// First boot: seed the WAL directory from the dataset flags.
+			durable, err = setcontain.NewDurable(*walDir, build(), dopts)
+			if err != nil {
+				log.Fatalf("setcontaind: initializing %s: %v", *walDir, err)
+			}
+			log.Printf("initialized durable index in %s (fsync %s)", *walDir, policy)
+		default:
+			log.Fatalf("setcontaind: opening %s: %v", *walDir, err)
+		}
+		idx = durable.Index()
+		store = durable.Store()
+	} else {
+		idx = build()
+		store = setcontain.NewStore(idx, *cache)
 	}
 	for _, p := range setcontain.ShardPlans(idx.Engine()) {
 		log.Printf("shard %d: %s, %d records, theta %.2f", p.Shard, p.Kind, p.Records, p.Theta)
 	}
 
-	store := setcontain.NewStore(idx, *cache)
 	sv := serve.NewServer(idx, store, serve.Config{
 		MaxBatch:    *maxBatch,
 		MaxLinger:   *linger,
 		MaxPending:  *maxPending,
 		Dispatchers: *dispatchers,
 		ChunkIDs:    *chunk,
+		Durable:     durable,
 	})
 	defer sv.Close()
 
@@ -151,6 +216,13 @@ func main() {
 	}
 	stop()
 	<-drained
+	if durable != nil {
+		// Flush the log's unsynced tail so even -fsync interval/os lose
+		// nothing on a graceful shutdown.
+		if err := durable.Close(); err != nil {
+			log.Printf("setcontaind: closing WAL: %v", err)
+		}
+	}
 	log.Printf("shut down cleanly")
 }
 

@@ -1,0 +1,102 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/wal"
+	"repro/setcontain"
+)
+
+// BenchmarkWALAppend measures the logged-mutation hot path — encode a
+// record, append it to the open segment, commit per policy — over the
+// in-memory filesystem, so the numbers isolate the log's own cost from
+// the device's fsync latency. The "os" policy is the encode+write
+// floor; "always" adds a (memory-priced) sync per commit.
+func BenchmarkWALAppend(b *testing.B) {
+	set := []uint32{3, 17, 255, 4096, 70000}
+	for _, policy := range []wal.SyncPolicy{wal.SyncAlways, wal.SyncOS} {
+		b.Run(policy.String(), func(b *testing.B) {
+			fs := wal.NewMemFS()
+			log, _, err := wal.Open("wal", wal.Options{FS: fs}, 0, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer log.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := log.Append(wal.Record{Op: wal.OpInsert, ID: uint32(i), Set: set}); err != nil {
+					b.Fatal(err)
+				}
+				if policy == wal.SyncAlways {
+					if err := log.Sync(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			st := log.Stats()
+			b.SetBytes(st.AppendedBytes / int64(b.N))
+			b.ReportMetric(float64(st.AppendedBytes)/float64(b.N), "log_bytes/op")
+		})
+	}
+}
+
+// BenchmarkDurableRecover measures the restart path a durable daemon
+// pays: open the newest checkpoint snapshot and replay the log tail.
+// The log holds 1000 single-set inserts past the checkpoint, so
+// replay_ms/op is the cost of a kill -9 with a 1000-record tail.
+func BenchmarkDurableRecover(b *testing.B) {
+	const tail = 1000
+	fs := wal.NewMemFS()
+	idx, err := setcontain.New(benchCollection(b),
+		setcontain.WithKind(setcontain.Sharded), setcontain.WithShards(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := setcontain.DurableOptions{FS: fs, CheckpointBytes: -1}
+	d, err := setcontain.NewDurable("wal", idx, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < tail; i++ {
+		if _, err := d.InsertSets([][]setcontain.Item{{2, 5, setcontain.Item(i)}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	var replayed int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		re, err := setcontain.OpenDurable("wal", opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		replayed = re.Stats().Replay.Records
+		b.StopTimer()
+		re.Close()
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if replayed != tail {
+		b.Fatalf("replayed %d records, want %d", replayed, tail)
+	}
+	b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(b.N), "replay_ms/op")
+	b.ReportMetric(float64(replayed), "replay_records")
+}
+
+// benchCollection is a small skewed collection for the durability
+// benches (the shared fixtures at benchCfg scale make recovery builds
+// needlessly slow).
+func benchCollection(b *testing.B) *setcontain.Collection {
+	cfg := benchCfg()
+	cfg.Scale = 0.0005 // 5 000 records
+	d, err := dataset.GenerateSynthetic(cfg.SyntheticDefaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return setcontain.WrapDataset(d)
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"slices"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/wal"
+	"repro/setcontain"
+)
+
+// AckPoint is one fsync policy's acknowledgement cost: the latency a
+// client pays for a durable (or not — see the policy's contract)
+// single-record insert through the write-ahead-logged mutation path,
+// measured on the real filesystem so the "always" row carries the
+// device's actual fsync price.
+type AckPoint struct {
+	Policy    wal.SyncPolicy
+	Mutations int
+	MeanAck   time.Duration
+	P99Ack    time.Duration
+	LogBytes  int64
+}
+
+// ReplayPoint is one restart measurement: recovering an index whose log
+// tail holds Records mutations past the newest checkpoint.
+type ReplayPoint struct {
+	Records    int
+	ReplayTime time.Duration
+	PerRecord  time.Duration
+}
+
+// RecoveryResult is the durability-cost sweep: what an ack costs under
+// each fsync policy, and what a restart costs as the log tail grows.
+type RecoveryResult struct {
+	Records int
+	Acks    []AckPoint
+	Replays []ReplayPoint
+	// Verified reports that the recovered index of the longest replay
+	// answered a probe workload identically to the never-crashed one.
+	Verified bool
+}
+
+// RunRecovery measures the write-ahead log's two prices. First the ack
+// latency: for each fsync policy, a durable index over a real temp
+// directory takes a burst of single-record inserts, and the per-call
+// latency is the time-to-acknowledgement — under "always" that is
+// encode + write + fsync, the cost of the no-lost-writes guarantee;
+// "os" is the lower bound with no durability on power loss. Then the
+// restart price: an in-memory filesystem is crashed with progressively
+// longer log tails past the checkpoint, and recovery (checkpoint
+// restore + tail replay) is timed, verifying the longest recovery
+// answers a probe workload identically to the live index it replaced.
+func RunRecovery(cfg Config) (RecoveryResult, error) {
+	cfg.fill()
+	synth := cfg.SyntheticDefaults()
+	synth.NumRecords = min(synth.NumRecords, 20000) // index scale is not the subject here
+	d, err := dataset.GenerateSynthetic(synth)
+	if err != nil {
+		return RecoveryResult{}, err
+	}
+	res := RecoveryResult{Records: d.Len()}
+	w := cfg.Out
+
+	const mutations = 400
+	fmt.Fprintf(w, "=== WAL recovery sweep (|D|=%d) ===\n", d.Len())
+	fmt.Fprintf(w, "--- ack latency: %d single-record inserts per fsync policy (real disk) ---\n", mutations)
+	for _, policy := range []wal.SyncPolicy{wal.SyncAlways, wal.SyncInterval, wal.SyncOS} {
+		pt, err := measureAcks(d, policy, mutations)
+		if err != nil {
+			return res, err
+		}
+		res.Acks = append(res.Acks, pt)
+		fmt.Fprintf(w, "%-9s mean=%-10s p99=%-10s %8.1f KB logged\n",
+			pt.Policy, pt.MeanAck.Round(time.Microsecond), pt.P99Ack.Round(time.Microsecond),
+			float64(pt.LogBytes)/1024)
+	}
+
+	fmt.Fprintf(w, "--- restart: checkpoint restore + log-tail replay (in-memory fs) ---\n")
+	for _, tail := range []int{100, 1000, 5000} {
+		pt, verified, err := measureReplay(d, tail)
+		if err != nil {
+			return res, err
+		}
+		res.Replays = append(res.Replays, pt)
+		res.Verified = verified
+		fmt.Fprintf(w, "tail=%-6d replay=%-10s %8s/record  verified=%v\n",
+			pt.Records, pt.ReplayTime.Round(time.Millisecond), pt.PerRecord.Round(time.Microsecond), verified)
+	}
+	if !res.Verified {
+		return res, fmt.Errorf("experiments: recovered index diverged from the live one")
+	}
+	return res, nil
+}
+
+// measureAcks times mutations acknowledgements under one fsync policy
+// against the real filesystem.
+func measureAcks(d *dataset.Dataset, policy wal.SyncPolicy, mutations int) (AckPoint, error) {
+	idx, err := setcontain.New(setcontain.WrapDataset(d),
+		setcontain.WithKind(setcontain.Sharded), setcontain.WithShards(2))
+	if err != nil {
+		return AckPoint{}, err
+	}
+	dir, err := os.MkdirTemp("", "oif-recovery-*")
+	if err != nil {
+		return AckPoint{}, err
+	}
+	defer os.RemoveAll(dir)
+	dur, err := setcontain.NewDurable(dir, idx, setcontain.DurableOptions{
+		Sync:            policy,
+		CheckpointBytes: -1,
+	})
+	if err != nil {
+		return AckPoint{}, err
+	}
+	defer dur.Close()
+
+	lat := make([]time.Duration, mutations)
+	set := [][]setcontain.Item{{2, 5, 9}}
+	for i := range lat {
+		start := time.Now()
+		if _, err := dur.InsertSets(set); err != nil {
+			return AckPoint{}, err
+		}
+		lat[i] = time.Since(start)
+	}
+	slices.Sort(lat)
+	var total time.Duration
+	for _, l := range lat {
+		total += l
+	}
+	return AckPoint{
+		Policy:    policy,
+		Mutations: mutations,
+		MeanAck:   total / time.Duration(mutations),
+		P99Ack:    lat[mutations*99/100],
+		LogBytes:  dur.Stats().Log.AppendedBytes,
+	}, nil
+}
+
+// measureReplay crashes an in-memory filesystem holding a checkpoint
+// plus a tail-record log and times the recovery, verifying the longest
+// case answers like the index that never crashed.
+func measureReplay(d *dataset.Dataset, tail int) (ReplayPoint, bool, error) {
+	idx, err := setcontain.New(setcontain.WrapDataset(d),
+		setcontain.WithKind(setcontain.Sharded), setcontain.WithShards(2))
+	if err != nil {
+		return ReplayPoint{}, false, err
+	}
+	fs := wal.NewMemFS()
+	opts := setcontain.DurableOptions{FS: fs, CheckpointBytes: -1}
+	dur, err := setcontain.NewDurable("wal", idx, opts)
+	if err != nil {
+		return ReplayPoint{}, false, err
+	}
+	for i := 0; i < tail; i++ {
+		if _, err := dur.InsertSets([][]setcontain.Item{{2, 5, setcontain.Item(i % 64)}}); err != nil {
+			return ReplayPoint{}, false, err
+		}
+	}
+	probe := setcontain.SubsetQuery([]setcontain.Item{2, 5})
+	want, err := dur.Index().Eval(probe)
+	if err != nil {
+		return ReplayPoint{}, false, err
+	}
+	if err := dur.Close(); err != nil {
+		return ReplayPoint{}, false, err
+	}
+	fs.Crash()
+
+	start := time.Now()
+	re, err := setcontain.OpenDurable("wal", opts)
+	if err != nil {
+		return ReplayPoint{}, false, err
+	}
+	elapsed := time.Since(start)
+	defer re.Close()
+	if got := re.Stats().Replay.Records; got != tail {
+		return ReplayPoint{}, false, fmt.Errorf("experiments: replayed %d records, want %d", got, tail)
+	}
+	got, err := re.Index().Eval(probe)
+	if err != nil {
+		return ReplayPoint{}, false, err
+	}
+	verified := slices.Equal(got, want)
+	return ReplayPoint{
+		Records:    tail,
+		ReplayTime: elapsed,
+		PerRecord:  elapsed / time.Duration(max(tail, 1)),
+	}, verified, nil
+}

@@ -1,0 +1,152 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// ErrInjected is the sentinel every injected fault wraps, the analogue
+// of storage.ErrInjected for the WAL's file layer.
+var ErrInjected = errors.New("wal: injected fault")
+
+// FaultyFS wraps an FS and fails the Nth mutating operation onwards
+// (1-based), in the style of storage.FaultyPager: creates, writes,
+// syncs, renames, removes, truncates, and dir syncs all count; reads
+// are free. After firing once it keeps failing — the process is as good
+// as dead to the log, which is exactly the crash model the recovery
+// tests need: run mutations over a FaultyFS around a MemFS, let the
+// fault land anywhere (mid-append, mid-checkpoint, mid-truncate), then
+// MemFS.Crash and recover.
+//
+// Two refinements beyond a plain failure sharpen the tests: ShortWrites
+// makes the failing operation, when it is a write, persist roughly half
+// its bytes before erroring (a torn append); DropSyncs makes Sync and
+// SyncDir silently do nothing from the trip point on — acknowledged
+// writes then ride only on volatile state, which is how a recovery test
+// proves the fsync policy, not luck, is what preserves acked writes.
+type FaultyFS struct {
+	Inner FS
+	// FailAt is the 1-based operation number that fails; 0 disables.
+	FailAt int64
+	// ShortWrites makes the tripping write persist half its bytes.
+	ShortWrites bool
+	// DropSyncs silences Sync/SyncDir from the trip point instead of
+	// erroring them.
+	DropSyncs bool
+
+	ops     atomic.Int64
+	tripped atomic.Bool
+}
+
+// NewFaultyFS wraps inner, failing the failAt-th mutating operation.
+func NewFaultyFS(inner FS, failAt int64) *FaultyFS {
+	return &FaultyFS{Inner: inner, FailAt: failAt}
+}
+
+// Ops returns the number of mutating operations attempted so far.
+func (f *FaultyFS) Ops() int64 { return f.ops.Load() }
+
+// Tripped reports whether the fault has fired.
+func (f *FaultyFS) Tripped() bool { return f.tripped.Load() }
+
+func (f *FaultyFS) step(op string) error {
+	n := f.ops.Add(1)
+	if f.tripped.Load() || (f.FailAt > 0 && n >= f.FailAt) {
+		f.tripped.Store(true)
+		if f.DropSyncs {
+			// Lying-disk mode: operations proceed normally, but Sync and
+			// SyncDir (which consult Tripped themselves) become no-ops.
+			return nil
+		}
+		return fmt.Errorf("%w: %s (op %d)", ErrInjected, op, n)
+	}
+	return nil
+}
+
+// MkdirAll implements FS (not counted: pure setup).
+func (f *FaultyFS) MkdirAll(dir string) error { return f.Inner.MkdirAll(dir) }
+
+// Create implements FS.
+func (f *FaultyFS) Create(path string) (File, error) {
+	if err := f.step("create"); err != nil {
+		return nil, err
+	}
+	inner, err := f.Inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{fs: f, inner: inner}, nil
+}
+
+// Open implements FS (reads are free).
+func (f *FaultyFS) Open(path string) (io.ReadCloser, error) { return f.Inner.Open(path) }
+
+// ReadDir implements FS (reads are free).
+func (f *FaultyFS) ReadDir(dir string) ([]string, error) { return f.Inner.ReadDir(dir) }
+
+// Rename implements FS.
+func (f *FaultyFS) Rename(oldpath, newpath string) error {
+	if err := f.step("rename"); err != nil {
+		return err
+	}
+	return f.Inner.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (f *FaultyFS) Remove(path string) error {
+	if err := f.step("remove"); err != nil {
+		return err
+	}
+	return f.Inner.Remove(path)
+}
+
+// Truncate implements FS.
+func (f *FaultyFS) Truncate(path string, size int64) error {
+	if err := f.step("truncate"); err != nil {
+		return err
+	}
+	return f.Inner.Truncate(path, size)
+}
+
+// SyncDir implements FS.
+func (f *FaultyFS) SyncDir(dir string) error {
+	if err := f.step("syncdir"); err != nil {
+		return err
+	}
+	if f.DropSyncs && f.tripped.Load() {
+		return nil
+	}
+	return f.Inner.SyncDir(dir)
+}
+
+// faultyFile threads the FS-wide fault counter through file writes and
+// syncs.
+type faultyFile struct {
+	fs    *FaultyFS
+	inner File
+}
+
+func (h *faultyFile) Write(p []byte) (int, error) {
+	if err := h.fs.step("write"); err != nil {
+		if h.fs.ShortWrites && len(p) > 1 {
+			n, _ := h.inner.Write(p[:len(p)/2])
+			return n, err
+		}
+		return 0, err
+	}
+	return h.inner.Write(p)
+}
+
+func (h *faultyFile) Sync() error {
+	if err := h.fs.step("sync"); err != nil {
+		return err
+	}
+	if h.fs.DropSyncs && h.fs.tripped.Load() {
+		return nil
+	}
+	return h.inner.Sync()
+}
+
+func (h *faultyFile) Close() error { return h.inner.Close() }

@@ -1,0 +1,138 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"syscall"
+)
+
+// FS is the filesystem surface the log and the checkpoint manager write
+// through. The indirection plays the role storage.Pager plays for the
+// index files: recovery tests inject failures (FaultyFS) and simulate
+// power loss (MemFS) without touching a real disk, while production
+// code runs on OSFS. Every implementation must make Rename atomic —
+// the crash-atomic snapshot protocol (WriteFileAtomic) rests on it.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// Create opens path for writing, truncating any existing file.
+	Create(path string) (File, error)
+	// Open opens path for reading.
+	Open(path string) (io.ReadCloser, error)
+	// ReadDir lists the names (not paths) of dir's entries, sorted.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// Truncate cuts path to size bytes.
+	Truncate(path string, size int64) error
+	// SyncDir forces dir's entry operations (creates, renames, removes)
+	// to stable storage.
+	SyncDir(dir string) error
+}
+
+// File is a writable log or snapshot file: sequential writes, explicit
+// durability, close. Close does not imply Sync.
+type File interface {
+	io.Writer
+	// Sync forces written bytes to stable storage.
+	Sync() error
+	// Close releases the file.
+	Close() error
+}
+
+// OSFS is the FS backed by the real filesystem.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// Create implements FS.
+func (OSFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+// Open implements FS.
+func (OSFS) Open(path string) (io.ReadCloser, error) { return os.Open(path) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+// Truncate implements FS.
+func (OSFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+// SyncDir implements FS. Filesystems that cannot fsync a directory
+// (some network and macOS configurations return EINVAL or ENOTSUP)
+// are tolerated: entry durability then rides on the filesystem's own
+// metadata journaling, which is the best available on such systems.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	cerr := d.Close()
+	if err != nil {
+		if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) {
+			return cerr
+		}
+		return err
+	}
+	return cerr
+}
+
+// WriteFileAtomic writes a file so that a crash at any point leaves
+// either the previous content of path or the complete new content,
+// never a torn mix: write writes the bytes into a same-directory temp
+// file, which is fsynced before an atomic rename over path, followed by
+// a directory fsync so the entry itself survives. Every snapshot the
+// repository persists (oifquery -save, the checkpoint manager) goes
+// through this protocol.
+func WriteFileAtomic(fs FS, path string, write func(io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fs.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fs.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fs.Remove(tmp)
+		return err
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
+		return fmt.Errorf("wal: publishing %s: %w", filepath.Base(path), err)
+	}
+	return fs.SyncDir(filepath.Dir(path))
+}

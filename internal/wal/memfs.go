@@ -1,0 +1,199 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MemFS is an in-memory FS with explicit power-loss semantics, the
+// substrate of the recovery property tests: bytes written to a file are
+// volatile until the file is fsynced, and Crash discards everything
+// volatile — so a test can cut power at an arbitrary operation and then
+// recover from exactly the state a real disk would hold.
+//
+// The model, deliberately simple but strict where it matters:
+//
+//   - File content is durable only up to the last Sync; a crash
+//     truncates the file back to that point (the classic torn tail).
+//   - Entry operations (Create, Rename, Remove) take effect immediately
+//     and survive a crash, as on a metadata-journaling filesystem.
+//     SyncDir is accepted and counted but adds nothing to the model.
+//
+// A freshly created, never-synced file therefore survives a crash as
+// zero bytes — which is exactly the torn-checkpoint shape recovery must
+// tolerate when the file fsync before a rename is omitted.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+	dirs  map[string]bool
+}
+
+type memFile struct {
+	buf     []byte
+	durable int // bytes guaranteed to survive Crash
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: map[string]*memFile{}, dirs: map[string]bool{"/": true, ".": true}}
+}
+
+// Crash simulates power loss: every file's volatile tail — bytes
+// written after its last Sync — is discarded.
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range m.files {
+		f.buf = f.buf[:f.durable]
+	}
+}
+
+// MkdirAll implements FS.
+func (m *MemFS) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for d := path.Clean(dir); d != "." && d != "/"; d = path.Dir(d) {
+		m.dirs[d] = true
+	}
+	return nil
+}
+
+// Create implements FS.
+func (m *MemFS) Create(p string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := &memFile{}
+	m.files[path.Clean(p)] = f
+	return &memHandle{fs: m, f: f}, nil
+}
+
+// Open implements FS.
+func (m *MemFS) Open(p string) (io.ReadCloser, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path.Clean(p)]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: p, Err: os.ErrNotExist}
+	}
+	return io.NopCloser(bytes.NewReader(append([]byte(nil), f.buf...))), nil
+}
+
+// ReadDir implements FS.
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix := path.Clean(dir) + "/"
+	var names []string
+	for p := range m.files {
+		if strings.HasPrefix(p, prefix) && !strings.Contains(p[len(prefix):], "/") {
+			names = append(names, p[len(prefix):])
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename implements FS.
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path.Clean(oldpath)]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldpath, Err: os.ErrNotExist}
+	}
+	delete(m.files, path.Clean(oldpath))
+	m.files[path.Clean(newpath)] = f
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(p string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[path.Clean(p)]; !ok {
+		return &os.PathError{Op: "remove", Path: p, Err: os.ErrNotExist}
+	}
+	delete(m.files, path.Clean(p))
+	return nil
+}
+
+// Truncate implements FS.
+func (m *MemFS) Truncate(p string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path.Clean(p)]
+	if !ok {
+		return &os.PathError{Op: "truncate", Path: p, Err: os.ErrNotExist}
+	}
+	if size > int64(len(f.buf)) {
+		return fmt.Errorf("wal: memfs truncate %s beyond size", p)
+	}
+	f.buf = f.buf[:size]
+	if f.durable > int(size) {
+		f.durable = int(size)
+	}
+	return nil
+}
+
+// SyncDir implements FS; entry durability is immediate in this model.
+func (m *MemFS) SyncDir(string) error { return nil }
+
+// Bytes returns a copy of a file's current (volatile) content, for
+// tests that corrupt or inspect it.
+func (m *MemFS) Bytes(p string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path.Clean(p)]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), f.buf...), true
+}
+
+// WriteBytes replaces a file's content (volatile and durable alike),
+// for tests that plant corruption.
+func (m *MemFS) WriteBytes(p string, b []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[path.Clean(p)] = &memFile{buf: append([]byte(nil), b...), durable: len(b)}
+}
+
+// memHandle is a MemFS file handle.
+type memHandle struct {
+	fs     *MemFS
+	f      *memFile
+	closed bool
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	h.f.buf = append(h.f.buf, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return os.ErrClosed
+	}
+	h.f.durable = len(h.f.buf)
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}

@@ -41,6 +41,13 @@ type Config struct {
 	// ChunkIDs caps the ids carried by one NDJSON response line
 	// (default 4096); smaller chunks flush sooner.
 	ChunkIDs int
+	// Durable, when set, routes the /admin mutation endpoints through
+	// the write-ahead-logged mutation path: a mutation is acknowledged
+	// only once its log record is durable per the WAL's fsync policy,
+	// POST /admin/checkpoint becomes available, and /stats and /healthz
+	// report the WAL's state. The store handed to NewServer must be
+	// Durable.Store(). Nil serves the plain in-memory mutation path.
+	Durable *setcontain.Durable
 }
 
 // DefaultConfig is the zero Config with every default applied.

@@ -30,6 +30,11 @@ type Server struct {
 	cfg     Config
 	start   time.Time
 
+	// mut is the mutation path behind the /admin endpoints: the plain
+	// store, or the Durable when cfg.Durable attaches a write-ahead log.
+	mut     setcontain.Mutator
+	durable *setcontain.Durable
+
 	bufs sync.Pool // *[]uint32 answer buffers, recycled across requests
 
 	// admin serializes the mutating endpoints (insert, delete, merge,
@@ -53,12 +58,18 @@ type Server struct {
 // routes every query through store. Close stops the dispatchers.
 func NewServer(idx *setcontain.Index, store *setcontain.Store, cfg Config) *Server {
 	cfg = cfg.Filled()
+	var mut setcontain.Mutator = store
+	if cfg.Durable != nil {
+		mut = cfg.Durable
+	}
 	return &Server{
 		idx:     idx,
 		store:   store,
 		batcher: NewBatcher(store, cfg),
 		cfg:     cfg,
 		start:   time.Now(),
+		mut:     mut,
+		durable: cfg.Durable,
 	}
 }
 
@@ -84,6 +95,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/admin/delete", s.handleDelete)
 	mux.HandleFunc("/admin/merge", s.handleMerge)
 	mux.HandleFunc("/admin/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/admin/checkpoint", s.handleCheckpoint)
 	return mux
 }
 
@@ -328,7 +340,33 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			BlockPostings: p.BlockPostings,
 		})
 	}
+	if s.durable != nil {
+		resp.WAL = walStatsJSON(s.durable.Stats())
+	}
 	writeJSON(w, resp)
+}
+
+// walStatsJSON renders the durability layer's counters for /stats.
+func walStatsJSON(st setcontain.DurableStats) *WALStatsJSON {
+	j := &WALStatsJSON{
+		Segments:             st.Log.Segments,
+		TotalBytes:           st.Log.TotalBytes,
+		LastLSN:              st.Log.LastLSN,
+		CheckpointLSN:        st.CheckpointLSN,
+		BytesSinceCheckpoint: st.Log.BytesSinceCheckpoint,
+		Appends:              st.Log.Appends,
+		Syncs:                st.Log.Syncs,
+		LastSyncMicros:       float64(st.Log.LastSyncNanos) / 1e3,
+		Checkpoints:          st.Checkpoints,
+		ReplayRecords:        st.Replay.Records,
+		ReplayMillis:         float64(st.Replay.Duration.Nanoseconds()) / 1e6,
+		ReplayTruncated:      st.Replay.Truncated,
+		Wedged:               st.Log.Wedged,
+	}
+	if st.Log.Syncs > 0 {
+		j.MeanSyncMicros = float64(st.Log.TotalSyncNanos) / float64(st.Log.Syncs) / 1e3
+	}
+	return j
 }
 
 // handleHealthz reports liveness plus the served index's identity. The
@@ -337,14 +375,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.admin.RLock()
 	defer s.admin.RUnlock()
-	writeJSON(w, HealthResponse{
+	resp := HealthResponse{
 		OK:      true,
 		Kind:    s.idx.Kind().String(),
 		Records: s.idx.NumRecords(),
 		Domain:  s.idx.Engine().DomainSize(),
 		Pending: s.idx.PendingInserts(),
 		Deleted: s.idx.Deleted(),
-	})
+	}
+	if s.durable != nil {
+		st := s.durable.Stats()
+		resp.WAL = &WALHealthJSON{
+			LastLSN:       st.Log.LastLSN,
+			CheckpointLSN: st.CheckpointLSN,
+			Segments:      st.Log.Segments,
+			Wedged:        st.Log.Wedged,
+		}
+	}
+	writeJSON(w, resp)
 }
 
 // decodeAdminBody decodes a POST body into v with the same limits and
@@ -364,8 +412,21 @@ func decodeAdminBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// handleInsert adds records to the live index's delta, refreshes the
-// store so pooled readers see them, and reports the assigned ids. On a
+// mutationStatus picks the HTTP status for a failed mutation: a wedged
+// write-ahead log is a server-side durability fault (503 — the process
+// must restart to recover), anything else is the request's own engine
+// error (400).
+func (s *Server) mutationStatus(err error) int {
+	if s.durable != nil && s.durable.Stats().Log.Wedged {
+		return http.StatusServiceUnavailable
+	}
+	_ = err
+	return http.StatusBadRequest
+}
+
+// handleInsert adds records through the mutation path — the plain store
+// or, with a WAL attached, the logged path that acknowledges only after
+// the records are durable — and reports the assigned ids. On a
 // mid-batch failure the earlier inserts of the request stick; the error
 // names the failing set.
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
@@ -379,26 +440,17 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	s.admin.Lock()
 	defer s.admin.Unlock()
-	ids := make([]uint32, 0, len(req.Sets))
-	err := s.store.Update(func() error {
-		for i, set := range req.Sets {
-			id, err := s.idx.Insert(set)
-			if err != nil {
-				return fmt.Errorf("serve: inserting set %d (after %d inserted): %w", i, len(ids), err)
-			}
-			ids = append(ids, id)
-		}
-		return nil
-	})
+	ids, err := s.mut.InsertSets(req.Sets)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		http.Error(w, fmt.Sprintf("serve: %v", err), s.mutationStatus(err))
 		return
 	}
 	writeJSON(w, InsertResponse{IDs: ids})
 }
 
-// handleDelete tombstones records on the live index and refreshes the
-// store, so the ids vanish from every answer served after the response.
+// handleDelete tombstones records through the mutation path, so the ids
+// vanish from every answer served after the response (and, with a WAL,
+// survive a crash once acknowledged).
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	var req DeleteRequest
 	if !decodeAdminBody(w, r, &req) {
@@ -410,16 +462,8 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	s.admin.Lock()
 	defer s.admin.Unlock()
-	err := s.store.Update(func() error {
-		for i, id := range req.IDs {
-			if err := s.idx.Delete(id); err != nil {
-				return fmt.Errorf("serve: deleting id %d (after %d deleted): %w", id, i, err)
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	if err := s.mut.DeleteIDs(req.IDs); err != nil {
+		http.Error(w, fmt.Sprintf("serve: %v", err), s.mutationStatus(err))
 		return
 	}
 	writeJSON(w, DeleteResponse{Deleted: len(req.IDs)})
@@ -434,7 +478,7 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 	}
 	s.admin.Lock()
 	defer s.admin.Unlock()
-	if err := s.store.Update(s.idx.MergeDelta); err != nil {
+	if err := s.mut.MergeDelta(); err != nil {
 		http.Error(w, fmt.Sprintf("serve: merge: %v", err), http.StatusInternalServerError)
 		return
 	}
@@ -442,6 +486,33 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 		Records: s.idx.NumRecords(),
 		Pending: s.idx.PendingInserts(),
 		Deleted: s.idx.Deleted(),
+	})
+}
+
+// handleCheckpoint folds the write-ahead log into a fresh checkpoint
+// snapshot and truncates the covered segments. Without a WAL attached
+// the endpoint answers 412: there is no log to fold.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "serve: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.durable == nil {
+		http.Error(w, "serve: no write-ahead log attached (start with -wal-dir)", http.StatusPreconditionFailed)
+		return
+	}
+	// No admin lock: Checkpoint serializes against mutations on the
+	// Durable's own mutex, and holding admin here would stall mutation
+	// traffic for the whole snapshot write rather than its serialize step.
+	if err := s.durable.Checkpoint(); err != nil {
+		http.Error(w, fmt.Sprintf("serve: checkpoint: %v", err), http.StatusInternalServerError)
+		return
+	}
+	st := s.durable.Stats()
+	writeJSON(w, CheckpointResponse{
+		CheckpointLSN: st.CheckpointLSN,
+		Segments:      st.Log.Segments,
+		LogBytes:      st.Log.TotalBytes,
 	})
 }
 
@@ -460,10 +531,17 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	// released: the mutation endpoints are blocked only for local
 	// encoding time, never for a slow client's download. (The sharded
 	// container already buffers per-shard payloads, so this adds no new
-	// peak for the largest configurations.)
+	// peak for the largest configurations.) With a WAL attached the
+	// serialization routes through Durable.Snapshot, whose mutex also
+	// excludes the background checkpointer's concurrent Save.
 	s.admin.Lock()
 	var snap bytes.Buffer
-	err := s.idx.Save(&snap)
+	var err error
+	if s.durable != nil {
+		err = s.durable.Snapshot(&snap)
+	} else {
+		err = s.idx.Save(&snap)
+	}
 	s.admin.Unlock()
 	if err != nil {
 		http.Error(w, fmt.Sprintf("serve: snapshot: %v", err), http.StatusInternalServerError)

@@ -71,6 +71,19 @@ type HealthResponse struct {
 	Domain  int    `json:"domain"`          // vocabulary size
 	Pending int    `json:"pending_inserts"` // unmerged inserts
 	Deleted int    `json:"deleted"`         // tombstoned records
+	// WAL summarizes the write-ahead log when one is attached: absent
+	// means the daemon serves the plain in-memory mutation path.
+	WAL *WALHealthJSON `json:"wal,omitempty"`
+}
+
+// WALHealthJSON is the /healthz WAL summary. A Wedged log means a log
+// append or fsync failed: mutations are refused (503) until the process
+// restarts and recovers, while queries keep being served.
+type WALHealthJSON struct {
+	LastLSN       uint64 `json:"last_lsn"`
+	CheckpointLSN uint64 `json:"checkpoint_lsn"`
+	Segments      int    `json:"segments"`
+	Wedged        bool   `json:"wedged,omitempty"`
 }
 
 // InsertRequest is the POST /admin/insert body: one or more record sets
@@ -122,6 +135,9 @@ type StatsResponse struct {
 	// Snapshots counts POST /admin/snapshot downloads completed and
 	// failed (client disconnect or write error mid-container).
 	Snapshots SnapshotStatsJSON `json:"snapshots"`
+	// WAL reports the write-ahead log's state when one is attached
+	// (absent otherwise).
+	WAL *WALStatsJSON `json:"wal,omitempty"`
 	// UptimeSeconds is the seconds since the server was created.
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
@@ -166,4 +182,34 @@ type StreamStatsJSON struct {
 type SnapshotStatsJSON struct {
 	Served int64 `json:"served"`
 	Failed int64 `json:"failed"`
+}
+
+// WALStatsJSON is the /stats view of the durability layer: the log's
+// size and position, checkpoint progress, startup replay cost, and
+// fsync latency. BytesSinceCheckpoint is the distance to the next
+// automatic checkpoint; ReplayMillis is what the last restart paid to
+// recover.
+type WALStatsJSON struct {
+	Segments             int     `json:"segments"`
+	TotalBytes           int64   `json:"total_bytes"`
+	LastLSN              uint64  `json:"last_lsn"`
+	CheckpointLSN        uint64  `json:"checkpoint_lsn"`
+	BytesSinceCheckpoint int64   `json:"bytes_since_checkpoint"`
+	Appends              int64   `json:"appends"`
+	Syncs                int64   `json:"syncs"`
+	LastSyncMicros       float64 `json:"last_sync_micros"`
+	MeanSyncMicros       float64 `json:"mean_sync_micros"`
+	Checkpoints          int64   `json:"checkpoints"`
+	ReplayRecords        int     `json:"replay_records"`
+	ReplayMillis         float64 `json:"replay_ms"`
+	ReplayTruncated      bool    `json:"replay_truncated,omitempty"`
+	Wedged               bool    `json:"wedged,omitempty"`
+}
+
+// CheckpointResponse is the POST /admin/checkpoint body: the new
+// watermark and the log's post-truncation footprint.
+type CheckpointResponse struct {
+	CheckpointLSN uint64 `json:"checkpoint_lsn"`
+	Segments      int    `json:"segments"`
+	LogBytes      int64  `json:"log_bytes"`
 }

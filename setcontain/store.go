@@ -2,6 +2,7 @@ package setcontain
 
 import (
 	"context"
+	"fmt"
 	"iter"
 	"runtime"
 	"sync"
@@ -127,6 +128,59 @@ func (s *Store) Update(fn func() error) error {
 	s.mu.Unlock()
 	s.Refresh()
 	return err
+}
+
+// Mutator is the batched mutation surface the serving layer writes
+// through, implemented by both Store (plain, in-memory only) and
+// Durable (write-ahead logged): the handlers stay identical whether the
+// deployment wants durability or not, and the ack-after-durable rule
+// lives in exactly one place (Durable) instead of being sprinkled
+// through HTTP code.
+type Mutator interface {
+	// InsertSets inserts the sets in order and returns the assigned ids.
+	// On a mid-batch failure the earlier inserts stick and their ids are
+	// returned alongside the error, which names the failing set.
+	InsertSets(sets [][]Item) ([]uint32, error)
+	// DeleteIDs tombstones the ids in order; a failure names the id.
+	DeleteIDs(ids []uint32) error
+	// MergeDelta folds pending inserts and tombstones into the disk
+	// structures.
+	MergeDelta() error
+}
+
+// InsertSets implements Mutator over the plain store: inserts apply to
+// the index under Update and are acknowledged immediately — they live
+// only in memory and die with the process.
+func (s *Store) InsertSets(sets [][]Item) ([]uint32, error) {
+	ids := make([]uint32, 0, len(sets))
+	err := s.Update(func() error {
+		for i, set := range sets {
+			id, err := s.ix.Insert(set)
+			if err != nil {
+				return fmt.Errorf("setcontain: inserting set %d (after %d inserted): %w", i, len(ids), err)
+			}
+			ids = append(ids, id)
+		}
+		return nil
+	})
+	return ids, err
+}
+
+// DeleteIDs implements Mutator over the plain store.
+func (s *Store) DeleteIDs(ids []uint32) error {
+	return s.Update(func() error {
+		for i, id := range ids {
+			if err := s.ix.Delete(id); err != nil {
+				return fmt.Errorf("setcontain: deleting id %d (after %d deleted): %w", id, i, err)
+			}
+		}
+		return nil
+	})
+}
+
+// MergeDelta implements Mutator over the plain store.
+func (s *Store) MergeDelta() error {
+	return s.Update(s.ix.MergeDelta)
 }
 
 // acquire returns a reader of the current generation, creating one when
