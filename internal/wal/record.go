@@ -47,6 +47,30 @@ type Record struct {
 // 32-bit items fit with room to spare.
 const MaxRecordBytes = 1 << 24
 
+// MaxInsertItems is the largest set one OpInsert record can carry: the
+// insert payload (17 fixed bytes plus 4 per item) must fit
+// MaxRecordBytes. Log.Append enforces the same bound readRecord checks
+// on replay, so a record the log accepts is always replayable — an
+// oversized record must be rejected before it is applied or
+// acknowledged, never discovered as "corrupt" at recovery time.
+const MaxInsertItems = (MaxRecordBytes - 17) / 4
+
+// ErrRecordTooLarge reports a record whose encoded payload would exceed
+// MaxRecordBytes. Append refuses such a record without writing (and
+// without wedging the log — nothing reached the file).
+var ErrRecordTooLarge = errors.New("wal: record exceeds MaxRecordBytes")
+
+// recordPayloadBytes is the encoded payload size appendRecord would
+// produce for rec — the value the write-time MaxRecordBytes check and
+// the encoder must agree on.
+func recordPayloadBytes(rec Record) int64 {
+	n := int64(8 + 1 + 4)
+	if rec.Op == OpInsert {
+		n += 4 + 4*int64(len(rec.Set))
+	}
+	return n
+}
+
 // ErrCorruptRecord reports a record frame whose bytes cannot be a valid
 // record: implausible length, CRC mismatch, or malformed payload.
 // Replay treats it (and a short tail) as the end of the log.

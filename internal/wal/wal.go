@@ -23,9 +23,11 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -328,6 +330,18 @@ func (l *Log) recover(after uint64, apply func(Record) error) (ReplayStats, erro
 	if prev > after {
 		l.next = prev + 1
 	}
+	// A record-free tail segment is the leftover of a prior generation's
+	// rotation (Open and the checkpoint manager both rotate; a shutdown
+	// before any further append leaves just the header). Drop it from the
+	// live list: Open is about to rotate into segmentName(l.next) — the
+	// very same file — and keeping both entries would count one file
+	// twice and make TruncateThrough remove it twice, failing forever on
+	// the second attempt.
+	if n := len(l.segs); n > 0 {
+		if tail := l.segs[n-1]; tail.bytes == segHeaderBytes && tail.first == l.next {
+			l.segs = l.segs[:n-1]
+		}
+	}
 	// Seed the byte counter with the recovered segments' record bytes so
 	// BytesSinceCheckpoint keeps counting un-checkpointed work across
 	// restarts instead of resetting with the process.
@@ -432,11 +446,24 @@ func (l *Log) rotateLocked() error {
 	return nil
 }
 
+// ErrWedged marks every error a wedged log returns: classify with
+// errors.Is(err, ErrWedged) to distinguish a server-side durability
+// fault (the process must restart to recover) from a request's own
+// error. The underlying cause stays on the chain via Unwrap.
+var ErrWedged = errors.New("wal: log wedged")
+
+// wedgedError carries the wedge cause while matching ErrWedged under
+// errors.Is.
+type wedgedError struct{ cause error }
+
+func (e *wedgedError) Error() string   { return ErrWedged.Error() + ": " + e.cause.Error() }
+func (e *wedgedError) Unwrap() []error { return []error{ErrWedged, e.cause} }
+
 // wedge records the first fatal error and returns it; every subsequent
 // operation fails with the same error.
 func (l *Log) wedge(err error) error {
 	if l.wedged == nil {
-		l.wedged = fmt.Errorf("wal: log wedged: %w", err)
+		l.wedged = &wedgedError{cause: err}
 	}
 	return l.wedged
 }
@@ -461,6 +488,15 @@ func (l *Log) Append(rec Record) (uint64, error) {
 	}
 	if l.closed {
 		return 0, fmt.Errorf("wal: log closed")
+	}
+	if n := recordPayloadBytes(rec); n > MaxRecordBytes {
+		// Refuse before writing: replay enforces the same bound, so an
+		// oversized record that slipped into the log would be truncated
+		// away as a corrupt tail on the next recovery — along with every
+		// acknowledged record behind it. The log stays healthy: nothing
+		// was written.
+		return 0, fmt.Errorf("%w: %d-byte payload (op %s, %d items; max %d items per insert)",
+			ErrRecordTooLarge, n, rec.Op, len(rec.Set), MaxInsertItems)
 	}
 	rec.LSN = l.next
 	l.buf = appendRecord(l.buf[:0], rec)
@@ -566,7 +602,9 @@ func (l *Log) TruncateThrough(mark uint64) error {
 	fs := l.opts.FS
 	removed := false
 	for len(l.segs) > 1 && l.segs[1].first <= mark+1 {
-		if err := fs.Remove(filepath.Join(l.dir, l.segs[0].name)); err != nil {
+		// A missing file is already the desired end state (an interrupted
+		// earlier truncation, say); drop the entry and keep reclaiming.
+		if err := fs.Remove(filepath.Join(l.dir, l.segs[0].name)); err != nil && !errors.Is(err, os.ErrNotExist) {
 			return err
 		}
 		l.segs = l.segs[1:]

@@ -415,3 +415,104 @@ func TestRecoveryCleansObsoleteSegments(t *testing.T) {
 		t.Fatalf("obsolete segments kept: %d -> %d files", len(before), len(after))
 	}
 }
+
+// TestReopenWithoutAppends is the regression test for the duplicate
+// segment entry: every Open rotates into segmentName(l.next), and when
+// a restart left a record-free segment with that very name (any boot
+// where nothing was appended to the newest segment), recovery used to
+// keep it in l.segs alongside the entry the rotation adds — one file
+// counted as two segments, which TruncateThrough then tried to remove
+// twice, failing with ENOENT forever after the first checkpoint.
+func TestReopenWithoutAppends(t *testing.T) {
+	fs := NewMemFS()
+	for boot := 0; boot < 3; boot++ {
+		l, _, err := Open("w", Options{FS: fs}, 0, nil)
+		if err != nil {
+			t.Fatalf("boot %d: Open: %v", boot, err)
+		}
+		files, _ := fs.ReadDir("w")
+		if st := l.Stats(); st.Segments != 1 || len(files) != 1 {
+			t.Fatalf("boot %d: %d segments over %d files %v, want 1 over 1",
+				boot, st.Segments, len(files), files)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("boot %d: Close: %v", boot, err)
+		}
+	}
+	// The relisted file must stay reclaimable: append, rotate (as the
+	// checkpoint manager does), truncate — twice, so a bookkeeping slip
+	// in the first cycle cannot hide.
+	l, _, err := Open("w", Options{FS: fs}, 0, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	for round := 0; round < 2; round++ {
+		mustAppend(t, l, Record{Op: OpInsert, ID: uint32(round + 1), Set: []uint32{1, 2}})
+		if err := l.Rotate(); err != nil {
+			t.Fatalf("round %d: Rotate: %v", round, err)
+		}
+		if err := l.TruncateThrough(l.LastLSN()); err != nil {
+			t.Fatalf("round %d: TruncateThrough: %v", round, err)
+		}
+		files, _ := fs.ReadDir("w")
+		if st := l.Stats(); st.Segments != 1 || len(files) != 1 {
+			t.Fatalf("round %d: %d segments over %d files %v, want 1 over 1",
+				round, st.Segments, len(files), files)
+		}
+	}
+}
+
+// TestAppendRejectsOversizedRecord: a record whose payload exceeds
+// MaxRecordBytes must be refused at append time — logging it would make
+// the next replay truncate it (and everything after it) as a corrupt
+// tail. The rejection must not wedge the log, and a record at exactly
+// the bound must round-trip.
+func TestAppendRejectsOversizedRecord(t *testing.T) {
+	fs := NewMemFS()
+	l, _, err := Open("w", Options{FS: fs}, 0, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := l.Append(Record{Op: OpInsert, ID: 1, Set: make([]uint32, MaxInsertItems+1)}); !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("oversized append = %v, want ErrRecordTooLarge", err)
+	}
+	if err := l.Err(); err != nil {
+		t.Fatalf("size rejection wedged the log: %v", err)
+	}
+	// Exactly the bound is appendable and replayable: the write-time
+	// check and readRecord's bound must agree, or a record could be
+	// accepted yet lost on recovery.
+	mustAppend(t, l, Record{Op: OpInsert, ID: 1, Set: make([]uint32, MaxInsertItems)})
+	mustAppend(t, l, Record{Op: OpDelete, ID: 1})
+	l.Close()
+	recs, stats := collect(t, fs, "w", 0)
+	if len(recs) != 2 || stats.Truncated {
+		t.Fatalf("replayed %d records (truncated=%v), want 2 clean", len(recs), stats.Truncated)
+	}
+	if len(recs[0].Set) != MaxInsertItems {
+		t.Fatalf("max-size record replayed %d items, want %d", len(recs[0].Set), MaxInsertItems)
+	}
+}
+
+// TestWedgedErrorMatchesSentinel: every error a wedged log returns must
+// match ErrWedged under errors.Is — the serving layer classifies
+// 503-vs-400 by it — while keeping the original cause on the chain.
+func TestWedgedErrorMatchesSentinel(t *testing.T) {
+	mem := NewMemFS()
+	faulty := NewFaultyFS(mem, 0)
+	l, _, err := Open("w", Options{FS: faulty}, 0, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	faulty.FailAt = faulty.Ops() + 1
+	if _, err := l.Append(Record{Op: OpDelete, ID: 1}); err == nil {
+		t.Fatalf("append over tripped fs succeeded")
+	} else if !errors.Is(err, ErrWedged) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("wedge error %v must match both ErrWedged and its cause", err)
+	}
+	if err := l.Err(); !errors.Is(err, ErrWedged) {
+		t.Fatalf("Err() = %v, want ErrWedged match", err)
+	}
+}

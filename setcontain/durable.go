@@ -326,6 +326,17 @@ func (d *Durable) InsertSets(sets [][]Item) ([]uint32, error) {
 	if d.closed {
 		return nil, errDurableClosed
 	}
+	// Validate sizes up front: a set too large for one log record must
+	// be refused before anything is applied — rejecting it at the log
+	// after the engine insert would leave the index and the log
+	// disagreeing, and logging it anyway would make replay truncate it
+	// (and every acknowledged record after it) as a corrupt tail.
+	for i, set := range sets {
+		if len(set) > wal.MaxInsertItems {
+			return nil, fmt.Errorf("setcontain: inserting set %d: %w (%d items, max %d)",
+				i, wal.ErrRecordTooLarge, len(set), wal.MaxInsertItems)
+		}
+	}
 	ids := make([]uint32, 0, len(sets))
 	err := d.store.Update(func() error {
 		for i, set := range sets {

@@ -450,3 +450,104 @@ func TestDurableBackgroundCheckpoint(t *testing.T) {
 		t.Fatalf("no background checkpoint after 200 inserts over a 256-byte threshold")
 	}
 }
+
+// TestDurableSecondBootReclaimsLog is the durable-level regression for
+// the duplicate segment entry: the second boot of a freshly seeded
+// directory recovers the record-free segment the first boot rotated
+// into, and checkpoints must keep reclaiming log segments forever after
+// — the original bug made the first TruncateThrough fail with ENOENT
+// and every later one return early, growing the log without bound.
+func TestDurableSecondBootReclaimsLog(t *testing.T) {
+	coll := skewedCollection(t, 40, 25, 0.8, 9)
+	idx, err := New(coll, WithKind(OIF), WithPageSize(512), WithBlockPostings(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := wal.NewMemFS()
+	d, err := NewDurable("w", idx, DurableOptions{Sync: wal.SyncAlways, CheckpointBytes: -1, FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segFiles := func() []string {
+		names, err := mem.ReadDir("w")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var segs []string
+		for _, n := range names {
+			if bytes.HasPrefix([]byte(n), []byte("wal-")) {
+				segs = append(segs, n)
+			}
+		}
+		return segs
+	}
+	d2, err := OpenDurable("w", DurableOptions{Sync: wal.SyncAlways, CheckpointBytes: -1, FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if st, files := d2.Stats().Log, segFiles(); st.Segments != len(files) {
+		t.Fatalf("boot 2 counts %d segments over %d files %v", st.Segments, len(files), files)
+	}
+	for round := 0; round < 3; round++ {
+		for j := 0; j < 5; j++ {
+			if _, err := d2.InsertSets([][]Item{{Item(round), Item(j)}}); err != nil {
+				t.Fatalf("round %d: insert: %v", round, err)
+			}
+		}
+		if err := d2.Checkpoint(); err != nil {
+			t.Fatalf("round %d: checkpoint: %v", round, err)
+		}
+		st, files := d2.Stats().Log, segFiles()
+		if st.Segments != 1 || len(files) != 1 {
+			t.Fatalf("round %d: checkpoint left %d segments over %d files %v, want 1 over 1",
+				round, st.Segments, len(files), files)
+		}
+	}
+}
+
+// TestDurableRejectsOversizedInsert: a set too large for one log record
+// must be refused before anything is applied or logged — the whole
+// batch, since acknowledging the earlier sets and then discovering the
+// oversized one mid-apply would leave the index ahead of the log. The
+// rejection must not wedge the log, and the directory must keep
+// recovering cleanly.
+func TestDurableRejectsOversizedInsert(t *testing.T) {
+	coll := skewedCollection(t, 30, 25, 0.8, 11)
+	idx, err := New(coll, WithKind(OIF), WithPageSize(512), WithBlockPostings(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := wal.NewMemFS()
+	d, err := NewDurable("w", idx, DurableOptions{Sync: wal.SyncAlways, CheckpointBytes: -1, FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.Index().NumRecords()
+	ids, err := d.InsertSets([][]Item{{1, 2}, make([]Item, wal.MaxInsertItems+1)})
+	if !errors.Is(err, wal.ErrRecordTooLarge) {
+		t.Fatalf("oversized insert = %v, want ErrRecordTooLarge", err)
+	}
+	if len(ids) != 0 || d.Index().NumRecords() != before {
+		t.Fatalf("rejected batch partially applied: ids %v, %d records (had %d)",
+			ids, d.Index().NumRecords(), before)
+	}
+	// Not wedged: the log never saw the record.
+	if _, err := d.InsertSets([][]Item{{3, 4}}); err != nil {
+		t.Fatalf("insert after size rejection: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDurable("w", DurableOptions{CheckpointBytes: -1, FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if got := d2.Index().NumRecords(); got != before+1 {
+		t.Fatalf("recovered %d records, want %d", got, before+1)
+	}
+}

@@ -25,6 +25,15 @@
 //	POST /admin/merge    — fold delta + tombstones into the disk structures
 //	POST /admin/snapshot — stream a restorable snapshot container
 //
+// A failed mutation answers 400 when the request itself was at fault
+// (bad set, unknown id) and 503 when the write-ahead log wedged — told
+// apart by classifying the returned error (wal.ErrWedged), never by
+// sampling global state a concurrent request may have changed. A
+// mid-batch insert failure answers with InsertErrorResponse: the
+// error, the ids acknowledged before the failing set (with a WAL those
+// inserts are already durable), and the index of the first
+// unacknowledged set.
+//
 // Each mutation refreshes the store, so answers served after the
 // response reflect it. The snapshot body is what `setcontaind
 // -snapshot` loads at boot — a warm daemon restarts without rebuilding

@@ -1,6 +1,7 @@
 package serve_test
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -177,4 +178,92 @@ func getJSON(t *testing.T, url string, out any) {
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestInsertPartialFailureReportsIDs: a mid-batch insert failure must
+// return the ids assigned before the failing set — with a WAL they are
+// already durably acknowledged server-side, so discarding them would
+// leave the client unable to reconcile the partial batch.
+func TestInsertPartialFailureReportsIDs(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	_, ts := newDurableServer(t, dir)
+
+	body, err := json.Marshal(serve.InsertRequest{
+		Sets: [][]setcontain.Item{{2, 5}, {4000000000}, {3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/admin/insert", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("partial insert status %d, want 400", resp.StatusCode)
+	}
+	var e serve.InsertErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("decoding error body: %v", err)
+	}
+	if e.Error == "" || len(e.IDs) != 1 || e.FailedSet != 1 {
+		t.Fatalf("error body %+v, want 1 id and failed_set 1", e)
+	}
+	// The acknowledged first set answers queries under its reported id.
+	got := queryIDs(t, ts.URL, setcontain.SubsetQuery([]setcontain.Item{2, 5}))
+	found := false
+	for _, id := range got {
+		found = found || id == e.IDs[0]
+	}
+	if !found {
+		t.Fatalf("acked id %d from error body not answering: %v", e.IDs[0], got)
+	}
+}
+
+// TestMutationStatusClassifiesError: the 503-vs-400 split must follow
+// the request's own error, not the log's global state — a wedged log
+// answers 503 for the requests that hit the wedge, while a request
+// failing on its own engine error still gets 400 even though the log
+// is wedged.
+func TestMutationStatusClassifiesError(t *testing.T) {
+	c := serveCollection(t)
+	idx, err := setcontain.New(c,
+		setcontain.WithKind(setcontain.Sharded),
+		setcontain.WithShards(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := wal.NewFaultyFS(wal.NewMemFS(), 0)
+	d, err := setcontain.NewDurable("w", idx, setcontain.DurableOptions{
+		Sync:            wal.SyncAlways,
+		CheckpointBytes: -1,
+		FS:              faulty,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(d.Index(), d.Store(), serve.Config{Durable: d})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		d.Close()
+	})
+
+	faulty.FailAt = faulty.Ops() + 1
+	postJSON(t, ts.URL+"/admin/insert", serve.InsertRequest{
+		Sets: [][]setcontain.Item{{2, 5}},
+	}, nil, http.StatusServiceUnavailable)
+
+	// The log is now wedged, but a delete of an unknown id fails in the
+	// engine before reaching it: still the client's own 400.
+	postJSON(t, ts.URL+"/admin/delete", serve.DeleteRequest{
+		IDs: []uint32{4000000000},
+	}, nil, http.StatusBadRequest)
+
+	// A mutation that does reach the wedged log keeps answering 503.
+	postJSON(t, ts.URL+"/admin/insert", serve.InsertRequest{
+		Sets: [][]setcontain.Item{{3}},
+	}, nil, http.StatusServiceUnavailable)
 }

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/wal"
 	"repro/setcontain"
 )
 
@@ -412,15 +413,17 @@ func decodeAdminBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// mutationStatus picks the HTTP status for a failed mutation: a wedged
+// mutationStatus picks the HTTP status for a failed mutation by
+// inspecting the error itself: one that went through a wedged
 // write-ahead log is a server-side durability fault (503 — the process
 // must restart to recover), anything else is the request's own engine
-// error (400).
-func (s *Server) mutationStatus(err error) int {
-	if s.durable != nil && s.durable.Stats().Log.Wedged {
+// error (400). Classifying the returned error, not the log's current
+// state, keeps a concurrent wedge from mislabeling an unrelated
+// request's engine error — and vice versa.
+func mutationStatus(err error) int {
+	if errors.Is(err, wal.ErrWedged) {
 		return http.StatusServiceUnavailable
 	}
-	_ = err
 	return http.StatusBadRequest
 }
 
@@ -442,7 +445,17 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	defer s.admin.Unlock()
 	ids, err := s.mut.InsertSets(req.Sets)
 	if err != nil {
-		http.Error(w, fmt.Sprintf("serve: %v", err), s.mutationStatus(err))
+		// The inserts before the failing set stick (with a WAL they are
+		// already durably acknowledged server-side), so the client must
+		// learn their ids: a plain error with the ids discarded would
+		// leave it unable to reconcile the partial batch.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(mutationStatus(err))
+		json.NewEncoder(w).Encode(InsertErrorResponse{
+			Error:     fmt.Sprintf("serve: %v", err),
+			IDs:       ids,
+			FailedSet: len(ids),
+		})
 		return
 	}
 	writeJSON(w, InsertResponse{IDs: ids})
@@ -463,7 +476,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	s.admin.Lock()
 	defer s.admin.Unlock()
 	if err := s.mut.DeleteIDs(req.IDs); err != nil {
-		http.Error(w, fmt.Sprintf("serve: %v", err), s.mutationStatus(err))
+		http.Error(w, fmt.Sprintf("serve: %v", err), mutationStatus(err))
 		return
 	}
 	writeJSON(w, DeleteResponse{Deleted: len(req.IDs)})

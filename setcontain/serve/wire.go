@@ -98,6 +98,20 @@ type InsertResponse struct {
 	IDs []uint32 `json:"ids"`
 }
 
+// InsertErrorResponse is the POST /admin/insert error body (status 400
+// or 503). A mid-batch failure leaves the earlier inserts applied —
+// with a write-ahead log attached they are already durably acknowledged
+// server-side — so the body carries their ids alongside the error,
+// letting the client reconcile the partial batch instead of guessing.
+// FailedSet is the request index of the first set whose insert is not
+// acknowledged (always len(ids)): everything before it stuck,
+// everything from it on did not.
+type InsertErrorResponse struct {
+	Error     string   `json:"error"`
+	IDs       []uint32 `json:"ids"`
+	FailedSet int      `json:"failed_set"`
+}
+
 // DeleteRequest is the POST /admin/delete body: record ids to tombstone.
 type DeleteRequest struct {
 	IDs []uint32 `json:"ids"`
