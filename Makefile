@@ -5,7 +5,7 @@ GOLANGCI ?= golangci-lint
 COVER_FLOOR ?= 75
 COVER_PKGS = ./setcontain/... ./internal/stats/...
 
-.PHONY: all build vet test bench bench-baseline bench-compare lint cover check linkcheck vet-examples serve snapshot-smoke crash-smoke
+.PHONY: all build vet test bench bench-baseline bench-compare fuzz-smoke lint cover check linkcheck vet-examples serve snapshot-smoke crash-smoke
 
 all: check
 
@@ -24,8 +24,9 @@ bench:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
 
 # Tier-1 hot-path benchmarks: the CPU-performance gate of the README's
-# "CPU performance" section.
-TIER1_BENCH = BenchmarkSubset|BenchmarkEquality|BenchmarkSuperset
+# "CPU performance" section, plus the expression planner's
+# planned-vs-naive pair.
+TIER1_BENCH = BenchmarkSubset|BenchmarkEquality|BenchmarkSuperset|BenchmarkExprPlanner
 BENCH_TIME ?= 500x
 # Samples per benchmark; benchjson keeps the fastest (min ns/op), which
 # gates robustly on machines with background load.
@@ -53,7 +54,20 @@ bench-compare:
 		echo "benchstat not installed; skipping statistical summary"; \
 	fi
 	$(GO) run ./cmd/benchjson -compare -threshold $(BENCH_TOLERANCE) \
-		-filter '^Benchmark(Subset|Equality|Superset)' BENCH_PR3.json bench-new.json
+		-filter '^Benchmark(Subset|Equality|Superset|ExprPlanner)' BENCH_PR3.json bench-new.json
+
+# Short coverage-guided runs of every fuzz target (go allows one -fuzz
+# target per invocation): the expression-grammar round-trip fuzzer, the
+# WAL replay/record fuzzers, and the vbyte codec fuzzers. The CI fuzz
+# job uses the same invocations; corpus findings land in testdata and
+# fail `make test` thereafter.
+FUZZ_TIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseExpr$$' -fuzztime $(FUZZ_TIME) ./setcontain
+	$(GO) test -run '^$$' -fuzz '^FuzzReplaySegment$$' -fuzztime $(FUZZ_TIME) ./internal/wal
+	$(GO) test -run '^$$' -fuzz '^FuzzRecordDecode$$' -fuzztime $(FUZZ_TIME) ./internal/wal
+	$(GO) test -run '^$$' -fuzz '^FuzzUint32$$' -fuzztime $(FUZZ_TIME) ./internal/vbyte
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodePostings$$' -fuzztime $(FUZZ_TIME) ./internal/vbyte
 
 lint:
 	$(GOLANGCI) run ./...

@@ -26,11 +26,12 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "one of: all (= every paper artefact: fig7-fig10, space, ordering, summary, ablations), concurrency (extra-paper Store sweep), sharding (Sharded engine scale-out sweep), serve (HTTP serving-layer load sweep), restore (snapshot save/load round-trip timing), or recovery (WAL ack latency per fsync policy + crash-replay timing)")
+		experiment = flag.String("experiment", "all", "one of: all (= every paper artefact: fig7-fig10, space, ordering, summary, ablations), concurrency (extra-paper Store sweep), sharding (Sharded engine scale-out sweep), serve (HTTP serving-layer load sweep), restore (snapshot save/load round-trip timing), recovery (WAL ack latency per fsync policy + crash-replay timing), or planner (boolean-expression planner vs naive left-to-right baseline)")
 		engine     = flag.String("engine", "oif", "engine for -experiment concurrency: oif, if, ubt, or sharded")
 		workers    = flag.Int("workers", 8, "max goroutines for -experiment concurrency (swept 1,2,4,...), the -experiment sharding query load, and the -experiment serve client sweep")
 		addr       = flag.String("addr", "", "for -experiment serve: a live setcontaind base URL (empty starts an in-process server)")
 		shards     = flag.Int("shards", 8, "max shard count for -experiment sharding (swept 1,2,4,...)")
+		rounds     = flag.Int("rounds", 5, "workload repetitions for -experiment planner")
 		scale      = flag.Float64("scale", 0.01, "fraction of the paper's synthetic |D| (1.0 = paper scale)")
 		realScale  = flag.Float64("realscale", 0.1, "fraction of the real-dataset twins' record counts")
 		queries    = flag.Int("queries", 10, "queries per size and type (the paper uses 10)")
@@ -87,6 +88,8 @@ func main() {
 		_, err = experiments.RunRestore(cfg)
 	case "recovery":
 		_, err = experiments.RunRecovery(cfg)
+	case "planner":
+		_, err = experiments.RunPlanner(cfg, *rounds)
 	default:
 		fmt.Fprintf(os.Stderr, "oifbench: unknown experiment %q\n", *experiment)
 		flag.Usage()

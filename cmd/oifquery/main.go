@@ -13,6 +13,10 @@
 //	subset 3 17        records containing both items
 //	equality 3 17 29   records whose set is exactly {3,17,29}
 //	superset 3 17 29   records contained in {3,17,29}
+//	subset{3} and not superset{17 29}
+//	                   boolean expression (setcontain.ParseExpr grammar),
+//	                   answered through the cost-based planner
+//	explain EXPR       print the planner's cost-ordered tree for EXPR
 //	insert 3 17 29     add a record, print its id
 //	delete 42          tombstone record 42
 //	merge              fold pending inserts and tombstones to disk
@@ -131,6 +135,20 @@ func repl(idx *setcontain.Index, coll *setcontain.Collection, maxShow int) {
 		case "help":
 			fmt.Println("commands: subset ITEMS..., equality ITEMS..., superset ITEMS...,")
 			fmt.Println("          insert ITEMS..., delete ID, merge, digest, stats, quit")
+			fmt.Println("expressions: subset{1 2} and not superset{3}  (and/or/not, parens)")
+			fmt.Println("          explain EXPR prints the planner's cost-ordered tree")
+		case "explain":
+			expr, err := setcontain.ParseExpr(strings.Join(fields[1:], " "))
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			plan, err := idx.PlanExpr(expr)
+			if err != nil {
+				fmt.Printf("explain: %v\n", err)
+				continue
+			}
+			fmt.Printf("%s\n(%d records, theta %.3f)\n%s\n", expr, plan.NumRecords, plan.Theta, plan)
 		case "insert":
 			items, err := parseItems(fields[1:])
 			if err != nil {
@@ -205,7 +223,36 @@ func repl(idx *setcontain.Index, coll *setcontain.Collection, maxShow int) {
 			}
 			fmt.Println()
 		default:
-			fmt.Printf("unknown command %q (try 'help')\n", cmd)
+			// Anything else is tried as a boolean expression in the
+			// ParseExpr grammar: `subset{3} and not superset{17}`. Lines
+			// that don't even look like one (no brace anywhere) keep the
+			// unknown-command hint; a malformed expression gets the
+			// parser's positioned error.
+			line := strings.TrimSpace(sc.Text())
+			if !strings.Contains(line, "{") {
+				fmt.Printf("unknown command %q (try 'help')\n", cmd)
+				continue
+			}
+			expr, err := setcontain.ParseExpr(line)
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			t0 := time.Now()
+			ids, err := idx.EvalExpr(expr)
+			if err != nil {
+				fmt.Printf("%s: %v\n", expr, err)
+				continue
+			}
+			show := ids
+			if len(show) > maxShow {
+				show = show[:maxShow]
+			}
+			fmt.Printf("%s: %d records in %v: %v", expr, len(ids), time.Since(t0).Round(time.Microsecond), show)
+			if len(ids) > maxShow {
+				fmt.Printf(" ... (+%d more)", len(ids)-maxShow)
+			}
+			fmt.Println()
 		}
 	}
 }

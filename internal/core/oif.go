@@ -336,6 +336,25 @@ func (ix *Index) profileSkewed() bool {
 	return stats.ProfileOfSupports(ix.listPostings, 0).Skewed()
 }
 
+// ItemSupports returns the per-item support table of the merged index:
+// index = item id, value = number of disk-resident records containing
+// the item. A record's most frequent item carries no posting in its
+// rank's list (it is represented by the rank's metadata region), so the
+// support is the list's posting count plus the region width. Pending
+// delta inserts and tombstones are not reflected — the table is a
+// planning estimate, refreshed by MergeDelta, not an answer.
+func (ix *Index) ItemSupports() []int64 {
+	supports := make([]int64, ix.domainSize)
+	items := ix.ord.Items()
+	for rank, n := range ix.listPostings {
+		if reg := ix.meta.Regions[rank]; !reg.Empty() {
+			n += int64(reg.U-reg.L) + 1
+		}
+		supports[items[rank]] = n
+	}
+	return supports
+}
+
 // DecodedStats reports the decoded-block cache's effectiveness (zeroes
 // when the cache is disabled).
 func (ix *Index) DecodedStats() DecodedCacheStats {

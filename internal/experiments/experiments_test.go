@@ -413,3 +413,27 @@ func TestRunShardingSweep(t *testing.T) {
 		t.Fatalf("report missing header:\n%s", out.String())
 	}
 }
+
+func TestRunPlannerSweep(t *testing.T) {
+	var out bytes.Buffer
+	cfg := tinyConfig(&out)
+	res, err := RunPlanner(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RunPlanner itself verifies planned == naive answers; here we check
+	// the sweep's shape and that the accounting adds up.
+	if res.Queries <= 0 || res.PlannedTime <= 0 || res.NaiveTime <= 0 {
+		t.Fatalf("empty measurements: %+v", res)
+	}
+	if res.EvaluatedLeaves+res.SkippedLeaves != res.TotalLeaves {
+		t.Fatalf("leaf accounting: %d evaluated + %d skipped != %d total",
+			res.EvaluatedLeaves, res.SkippedLeaves, res.TotalLeaves)
+	}
+	if res.SkippedLeaves == 0 {
+		t.Fatal("adversarial workload never short-circuited — the sweep measures nothing")
+	}
+	if !strings.Contains(out.String(), "Expression planner sweep") {
+		t.Fatalf("report missing header:\n%s", out.String())
+	}
+}

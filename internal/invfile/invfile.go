@@ -142,6 +142,14 @@ func (ix *Index) ListBytes() int64 { return ix.store.TotalBytes() }
 // ListPages returns the pages occupied by the disk lists.
 func (ix *Index) ListPages() int64 { return ix.store.TotalPages() }
 
+// ItemSupports returns the per-item support table of the merged index:
+// index = item id, value = postings in the item's disk list. Pending
+// delta inserts and tombstones are not reflected — the table is a
+// planning estimate, refreshed by MergeDelta, not an answer.
+func (ix *Index) ItemSupports() []int64 {
+	return append([]int64(nil), ix.counts...)
+}
+
 // prepQuery validates and canonicalises a query set: sorted ascending,
 // deduplicated, all items in-domain.
 func (ix *Index) prepQuery(qs []dataset.Item) ([]dataset.Item, error) {

@@ -149,6 +149,14 @@ func (ix *Index) NumRecords() int { return ix.numRecords }
 // DomainSize returns |I|.
 func (ix *Index) DomainSize() int { return ix.domainSize }
 
+// ItemSupports returns the per-item support table: index = item id,
+// value = postings in the item's lists (every record posts each of its
+// items, so this is the exact support). A planning estimate for query
+// ordering, not an answer.
+func (ix *Index) ItemSupports() []int64 {
+	return append([]int64(nil), ix.counts...)
+}
+
 // Blocks returns the number of B-tree entries.
 func (ix *Index) Blocks() int64 { return ix.blocks }
 

@@ -64,6 +64,13 @@ type Engine interface {
 	// Save writes a self-contained snapshot.
 	Save(w io.Writer) error
 
+	// ItemSupports returns the per-item support table (index = item id,
+	// value = records containing the item in the merged structures) the
+	// expression planner costs containment leaves with. Pending delta
+	// inserts and tombstones are not reflected; the table is a planning
+	// estimate, not an answer. The caller owns the returned slice.
+	ItemSupports() []int64
+
 	// Space reports the persistent footprint.
 	Space() SpaceInfo
 	// Stats reports I/O behaviour since the last reset.
@@ -126,6 +133,7 @@ type backend interface {
 	Queryable
 	NumRecords() int
 	DomainSize() int
+	ItemSupports() []int64
 	SetPool(pool *storage.BufferPool) error
 	Pool() *storage.BufferPool
 }
@@ -137,10 +145,11 @@ type baseEngine struct {
 	kind Kind
 }
 
-func (e *baseEngine) Kind() Kind      { return e.kind }
-func (e *baseEngine) NumRecords() int { return e.b.NumRecords() }
-func (e *baseEngine) DomainSize() int { return e.b.DomainSize() }
-func (e *baseEngine) Unwrap() any     { return e.b }
+func (e *baseEngine) Kind() Kind            { return e.kind }
+func (e *baseEngine) NumRecords() int       { return e.b.NumRecords() }
+func (e *baseEngine) DomainSize() int       { return e.b.DomainSize() }
+func (e *baseEngine) ItemSupports() []int64 { return e.b.ItemSupports() }
+func (e *baseEngine) Unwrap() any           { return e.b }
 
 func (e *baseEngine) Subset(qs []Item) ([]uint32, error)   { return e.b.Subset(qs) }
 func (e *baseEngine) Equality(qs []Item) ([]uint32, error) { return e.b.Equality(qs) }

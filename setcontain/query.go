@@ -22,7 +22,11 @@ const (
 	PredicateSuperset
 )
 
-// ErrUnknownPredicate reports an invalid Predicate value.
+// ErrUnknownPredicate reports an invalid Predicate value. Every
+// evaluation path — Eval, EvalAppend, EvalSeq, and the expression
+// planner — returns exactly this sentinel (never wrapped twice) for a
+// query whose Pred is not one of the three containment relations, so
+// callers can test errors.Is(err, ErrUnknownPredicate) uniformly.
 var ErrUnknownPredicate = errors.New("setcontain: unknown predicate")
 
 // String returns the predicate's conventional lowercase name, as the
@@ -38,6 +42,11 @@ func (p Predicate) String() string {
 	default:
 		return fmt.Sprintf("Predicate(%d)", int(p))
 	}
+}
+
+// known reports whether p is one of the three containment relations.
+func (p Predicate) known() bool {
+	return p == PredicateSubset || p == PredicateEquality || p == PredicateSuperset
 }
 
 // ParsePredicate resolves the names produced by Predicate.String,
@@ -86,46 +95,6 @@ func (q Query) String() string {
 	return b.String()
 }
 
-// ParseQuery parses the textual form produced by Query.String —
-// "subset{3 17 29}" — back into a Query, so the string form round-trips
-// and can serve as a compact wire format (the serve package's ?q=
-// parameter uses it). The predicate name is matched like ParsePredicate
-// (case-insensitively); items are decimal uint32s separated by spaces,
-// and "{}" denotes the empty query. Surrounding whitespace is ignored;
-// anything after the closing brace is an error.
-func ParseQuery(s string) (Query, error) {
-	trimmed := strings.TrimSpace(s)
-	open := strings.IndexByte(trimmed, '{')
-	if open < 0 || !strings.HasSuffix(trimmed, "}") {
-		return Query{}, fmt.Errorf("setcontain: query %q: want predicate{items...}", s)
-	}
-	pred, err := ParsePredicate(trimmed[:open])
-	if err != nil {
-		return Query{}, fmt.Errorf("setcontain: query %q: %w", s, err)
-	}
-	body := trimmed[open+1 : len(trimmed)-1]
-	if strings.ContainsAny(body, "{}") {
-		return Query{}, fmt.Errorf("setcontain: query %q: nested braces", s)
-	}
-	fields := strings.Fields(body)
-	items := make([]Item, 0, len(fields))
-	for _, f := range fields {
-		var it uint64
-		for i := 0; i < len(f); i++ {
-			d := f[i] - '0'
-			if d > 9 {
-				return Query{}, fmt.Errorf("setcontain: query %q: item %q is not a decimal uint32", s, f)
-			}
-			it = it*10 + uint64(d)
-			if it > 1<<32-1 {
-				return Query{}, fmt.Errorf("setcontain: query %q: item %q overflows uint32", s, f)
-			}
-		}
-		items = append(items, Item(it))
-	}
-	return Query{Pred: pred, Items: items}, nil
-}
-
 // Queryable is anything that answers the three containment predicates:
 // an Index, a Reader, or an Engine.
 type Queryable interface {
@@ -163,18 +132,20 @@ type AppendQueryable interface {
 // and returning the extended slice. With a target implementing
 // AppendQueryable (an OIF Index, Engine, or Reader) and warm caches the
 // call performs no allocations beyond growing dst; other targets answer
-// through Eval and copy.
+// through Eval and copy. An invalid predicate returns the bare
+// ErrUnknownPredicate sentinel on both paths.
 func (q Query) EvalAppend(dst []uint32, t Queryable) ([]uint32, error) {
+	if !q.Pred.known() {
+		return nil, ErrUnknownPredicate
+	}
 	if at, ok := t.(AppendQueryable); ok {
 		switch q.Pred {
 		case PredicateSubset:
 			return at.AppendSubset(dst, q.Items)
 		case PredicateEquality:
 			return at.AppendEquality(dst, q.Items)
-		case PredicateSuperset:
-			return at.AppendSuperset(dst, q.Items)
 		default:
-			return nil, ErrUnknownPredicate
+			return at.AppendSuperset(dst, q.Items)
 		}
 	}
 	ids, err := q.Eval(t)
@@ -185,7 +156,11 @@ func (q Query) EvalAppend(dst []uint32, t Queryable) ([]uint32, error) {
 }
 
 // EvalSeq answers the query as a lazy sequence; see Index.SubsetSeq for
-// the streaming contract.
+// the streaming contract. The error covers evaluation up front: a
+// non-nil sequence never fails mid-iteration, yields ascending unique
+// record ids, may be ranged over at most once, and may be abandoned
+// early at no cost. An invalid predicate returns the bare
+// ErrUnknownPredicate sentinel.
 func (q Query) EvalSeq(t Queryable) (iter.Seq[uint32], error) {
 	return seqOf(q.Eval(t))
 }
@@ -210,11 +185,15 @@ func seqOf(ids []uint32, err error) (iter.Seq[uint32], error) {
 //	seq, err := idx.SubsetSeq(qs)
 //	for id := range seq { ... }
 //
-// Iteration may be abandoned early at no cost. The current engines
-// compute the full answer before the sequence yields (their final
-// sort/remap steps need it); the iterator surface frees callers from
-// that detail and is the contract future incremental engines stream
-// through. The slice forms remain as the materializing convenience.
+// The contract: the error covers evaluation up front, so a non-nil
+// sequence never fails mid-iteration; it yields record ids ascending
+// and without duplicates; it is single-use (range over it at most
+// once); and iteration may be abandoned early at no cost. The current
+// engines compute the full answer before the sequence yields (their
+// final sort/remap steps need it); the iterator surface frees callers
+// from that detail and is the contract future incremental engines
+// stream through. The slice forms remain as the materializing
+// convenience.
 func (ix *Index) SubsetSeq(qs []Item) (iter.Seq[uint32], error) {
 	return seqOf(ix.eng.Subset(qs))
 }

@@ -198,6 +198,28 @@ func (b *Batcher) Do(ctx context.Context, dst []uint32, q setcontain.Query) ([]u
 	}
 }
 
+// DoExpr submits one boolean expression. A one-leaf expression rides
+// the micro-batching path exactly as Do — identical coalescing,
+// admission control, and buffer contract. A multi-leaf expression
+// dispatches directly through Store.ExecExprAppend on a pooled reader:
+// it already amortizes list work internally (the planner orders and
+// short-circuits its leaves), so it bypasses batch admission — DoExpr
+// never returns ErrSaturated for one — and, being synchronous, always
+// hands dst back on failure.
+func (b *Batcher) DoExpr(ctx context.Context, dst []uint32, e *setcontain.Expr) ([]uint32, error) {
+	if q, ok := e.AsQuery(); ok {
+		return b.Do(ctx, dst, q)
+	}
+	if b.closed.Load() {
+		return dst, ErrClosed
+	}
+	out, err := b.store.ExecExprAppend(ctx, dst, e)
+	if err != nil {
+		return dst, err
+	}
+	return out, nil
+}
+
 // run is one dispatcher: collect a batch, execute it, publish results.
 func (b *Batcher) run() {
 	defer b.wg.Done()

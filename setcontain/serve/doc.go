@@ -12,10 +12,24 @@
 // A Server wraps the batcher with HTTP handlers:
 //
 //	POST /query    — batch of queries in, NDJSON answer chunks out
-//	GET  /query    — single query via ?q=subset{3 17} (setcontain.ParseQuery)
+//	GET  /query    — single query via ?q=subset{3 17} (setcontain.ParseExpr)
 //	GET  /stream   — one query streamed chunk-by-chunk with flushes
-//	GET  /stats    — batcher histogram, store cache counters, shard plans
+//	GET  /stats    — batcher histogram, store cache counters, shard and
+//	                 expression-planner accounting
 //	GET  /healthz  — liveness plus index identity and mutation state
+//
+// Queries on the wire are boolean expressions in the textual
+// setcontain.ParseExpr grammar — GET ?q= accepts the full form
+// (`?q=subset{1 2} and not superset{3}`, URL-encoded), and a POST spec
+// carries either the structured {"pred","items"} pair or the same text
+// under {"expr"}. A plain predicate is the one-leaf degenerate
+// expression and behaves exactly as before: it rides the micro-batch
+// path. Multi-leaf expressions dispatch on a pooled reader through the
+// store's cost-based planner, which orders AND legs rarest-first and
+// short-circuits the rest when an intermediate empties; /stats reports
+// that accounting under "planner". A query string that fails to parse
+// answers 400 with a JSON body carrying the error and the byte offset
+// of the failing token.
 //
 // The /admin endpoints mutate the live collection (serialized by an
 // internal lock; queries keep flowing on the store's pooled readers):

@@ -111,9 +111,13 @@ func (s *Server) getBuf() []uint32 {
 
 func (s *Server) putBuf(buf []uint32) { s.bufs.Put(&buf) }
 
-// parseRequest extracts the request's queries: the JSON body on POST,
-// the ?q= textual form on GET.
-func parseRequest(r *http.Request) ([]setcontain.Query, error) {
+// parseRequest extracts the request's queries as expression trees: the
+// JSON body on POST (structured Pred/Items specs and textual Expr
+// specs alike), the ?q= textual form on GET, both through the
+// setcontain.ParseExpr grammar — a plain predicate parses as its
+// one-leaf degenerate expression. Parse failures surface the
+// *setcontain.ParseError so the handler can answer with the offset.
+func parseRequest(r *http.Request) ([]*setcontain.Expr, error) {
 	switch r.Method {
 	case http.MethodPost:
 		var req QueryRequest
@@ -125,24 +129,40 @@ func parseRequest(r *http.Request) ([]setcontain.Query, error) {
 		if len(req.Queries) == 0 {
 			return nil, errors.New("serve: request carries no queries")
 		}
-		qs := make([]setcontain.Query, len(req.Queries))
+		es := make([]*setcontain.Expr, len(req.Queries))
 		for i, spec := range req.Queries {
-			q, err := spec.Query()
+			e, err := spec.Parse()
 			if err != nil {
 				return nil, fmt.Errorf("serve: query %d: %w", i, err)
 			}
-			qs[i] = q
+			es[i] = e
 		}
-		return qs, nil
+		return es, nil
 	case http.MethodGet:
-		q, err := setcontain.ParseQuery(r.URL.Query().Get("q"))
+		e, err := setcontain.ParseExpr(r.URL.Query().Get("q"))
 		if err != nil {
 			return nil, err
 		}
-		return []setcontain.Query{q}, nil
+		return []*setcontain.Expr{e}, nil
 	default:
 		return nil, fmt.Errorf("serve: method %s not allowed", r.Method)
 	}
+}
+
+// writeQueryError answers a failed request parse as JSON: positioned
+// *setcontain.ParseError failures carry the byte offset of the failing
+// token alongside the message, so clients point at the error instead
+// of re-lexing it.
+func writeQueryError(w http.ResponseWriter, err error, status int) {
+	body := QueryErrorResponse{Error: err.Error()}
+	var pe *setcontain.ParseError
+	if errors.As(err, &pe) {
+		off := pe.Offset
+		body.Offset = &off
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
 }
 
 // handleQuery answers a batch of queries through the batcher, streaming
@@ -154,16 +174,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet && r.Method != http.MethodPost {
 			status = http.StatusMethodNotAllowed
 		}
-		http.Error(w, err.Error(), status)
+		writeQueryError(w, err, status)
 		return
 	}
 	ctx := r.Context()
 	enc := json.NewEncoder(w)
 	started := false
 	for i, q := range qs {
-		// Buffer ownership follows Do's contract: a non-nil out is ours
-		// to recycle, a nil out is forfeited to a live dispatcher.
-		out, err := s.batcher.Do(ctx, s.getBuf(), q)
+		// Buffer ownership follows DoExpr's contract: a non-nil out is
+		// ours to recycle, a nil out is forfeited to a live dispatcher.
+		out, err := s.batcher.DoExpr(ctx, s.getBuf(), q)
 		switch {
 		case err == nil:
 			if !started {
@@ -221,8 +241,9 @@ func (s *Server) writeIDs(ctx context.Context, enc *json.Encoder, query int, ids
 	return enc.Encode(Result{Query: query, IDs: ids, Done: true, Count: total})
 }
 
-// handleStream answers one ?q= query through the Store's iter.Seq
-// streaming variant, flushing each NDJSON chunk as it forms: the
+// handleStream answers one ?q= query — a single predicate or a full
+// boolean expression — through the Store's iter.Seq streaming variant,
+// flushing each NDJSON chunk as it forms: the
 // response path holds at most one chunk of ids as JSON, so the client
 // can consume arbitrarily large answers incrementally. (The current
 // engines still compute the full answer slice before the sequence
@@ -236,13 +257,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "serve: GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	q, err := setcontain.ParseQuery(r.URL.Query().Get("q"))
+	expr, err := setcontain.ParseExpr(r.URL.Query().Get("q"))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeQueryError(w, err, http.StatusBadRequest)
 		return
 	}
 	ctx := r.Context()
-	seq, err := s.store.ExecSeq(ctx, q)
+	seq, err := s.store.ExecExprSeq(ctx, expr)
 	if err != nil {
 		if ctx.Err() != nil {
 			s.streamsAborted.Add(1)
@@ -331,6 +352,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Failed: s.snapshotsFailed.Load(),
 		},
 		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	est := s.store.ExprStats()
+	resp.Planner = PlannerStatsJSON{
+		Expressions:     est.Expressions,
+		EvaluatedLeaves: est.EvaluatedLeaves,
+		SkippedLeaves:   est.SkippedLeaves,
+		Theta:           s.store.Supports().Theta,
 	}
 	for _, p := range setcontain.ShardPlans(s.idx.Engine()) {
 		resp.ShardPlans = append(resp.ShardPlans, ShardPlanJSON{

@@ -8,9 +8,10 @@ import (
 
 // The wire types are the service's JSON vocabulary. Requests carry
 // queries in the same textual vocabulary as the CLIs — predicate names
-// from Predicate.String, items as decimal uint32s — so
-// setcontain.ParsePredicate / setcontain.ParseQuery are the single
-// parsing authority on both the library and wire paths.
+// from Predicate.String, items as decimal uint32s, boolean expressions
+// in the setcontain.ParseExpr grammar — so setcontain.ParsePredicate /
+// setcontain.ParseExpr are the single parsing authority on both the
+// library and wire paths.
 
 // QueryRequest is the POST /query body: the queries to answer, in
 // order. Answers stream back as Result lines keyed by query index.
@@ -18,16 +19,21 @@ type QueryRequest struct {
 	Queries []QuerySpec `json:"queries"`
 }
 
-// QuerySpec is one query on the wire: a predicate name ("subset",
-// "equality", or "superset", as Predicate.String spells them) plus the
-// query items.
+// QuerySpec is one query on the wire: either a single containment
+// predicate — a predicate name ("subset", "equality", or "superset",
+// as Predicate.String spells them) plus the query items — or a boolean
+// expression in Expr, the textual setcontain.ParseExpr grammar
+// ("subset{1 2} and not superset{3}"). Setting Expr alongside Pred is
+// an error: one spec is one query, spelled one way.
 type QuerySpec struct {
-	Pred  string            `json:"pred"`
-	Items []setcontain.Item `json:"items"`
+	Pred  string            `json:"pred,omitempty"`
+	Items []setcontain.Item `json:"items,omitempty"`
+	Expr  string            `json:"expr,omitempty"`
 }
 
 // Query converts the spec to a setcontain.Query, validating the
-// predicate name.
+// predicate name. Specs carrying an expression don't fit a single
+// query; use Parse.
 func (qs QuerySpec) Query() (setcontain.Query, error) {
 	pred, err := setcontain.ParsePredicate(qs.Pred)
 	if err != nil {
@@ -36,9 +42,46 @@ func (qs QuerySpec) Query() (setcontain.Query, error) {
 	return setcontain.Query{Pred: pred, Items: qs.Items}, nil
 }
 
+// Parse converts the spec to an expression tree: Expr through
+// setcontain.ParseExpr (errors keep their *setcontain.ParseError
+// offset), a Pred/Items pair as the one-leaf degenerate expression.
+func (qs QuerySpec) Parse() (*setcontain.Expr, error) {
+	if qs.Expr != "" {
+		if qs.Pred != "" || len(qs.Items) != 0 {
+			return nil, fmt.Errorf("serve: spec sets both expr and pred/items")
+		}
+		return setcontain.ParseExpr(qs.Expr)
+	}
+	q, err := qs.Query()
+	if err != nil {
+		return nil, err
+	}
+	return setcontain.ExprOf(q), nil
+}
+
 // SpecOf renders a setcontain.Query as its wire spec.
 func SpecOf(q setcontain.Query) QuerySpec {
 	return QuerySpec{Pred: q.Pred.String(), Items: q.Items}
+}
+
+// SpecOfExpr renders an expression as its wire spec: one-leaf trees
+// keep the structured Pred/Items form, everything else the textual
+// grammar.
+func SpecOfExpr(e *setcontain.Expr) QuerySpec {
+	if q, ok := e.AsQuery(); ok {
+		return SpecOf(q)
+	}
+	return QuerySpec{Expr: e.String()}
+}
+
+// QueryErrorResponse is the JSON body of a 400 answer to a query whose
+// textual form failed to parse. Offset is the byte position of the
+// failing token inside the query string (present exactly when the
+// failure was a positioned *setcontain.ParseError), so clients can
+// point at the error instead of re-lexing the message.
+type QueryErrorResponse struct {
+	Error  string `json:"error"`
+	Offset *int   `json:"offset,omitempty"`
 }
 
 // Result is one NDJSON response line. A query's answer arrives as zero
@@ -143,6 +186,10 @@ type StatsResponse struct {
 	// ShardPlans lists the per-shard planning decisions of a sharded
 	// engine (absent otherwise).
 	ShardPlans []ShardPlanJSON `json:"shard_plans,omitempty"`
+	// Planner is the boolean-expression planner's accounting: how many
+	// multi-leaf expressions ran and how much leaf work the cost-based
+	// ordering short-circuited away.
+	Planner PlannerStatsJSON `json:"planner"`
 	// Streams counts GET /stream requests served and aborted
 	// (client disconnect or error mid-stream).
 	Streams StreamStatsJSON `json:"streams"`
@@ -184,6 +231,19 @@ type ShardPlanJSON struct {
 	Records       int     `json:"records"`
 	Theta         float64 `json:"theta"`
 	BlockPostings int     `json:"block_postings,omitempty"`
+}
+
+// PlannerStatsJSON mirrors setcontain.ExprStats on the wire, plus the
+// skew parameter the cost model planned against. EvaluatedLeaves and
+// SkippedLeaves split each expression's containment leaves into ones
+// actually run and ones the rarest-first ordering's empty-intermediate
+// short-circuit discarded; Theta is the fitted Zipf exponent of the
+// store's cached support profile.
+type PlannerStatsJSON struct {
+	Expressions     int64   `json:"expressions"`
+	EvaluatedLeaves int64   `json:"evaluated_leaves"`
+	SkippedLeaves   int64   `json:"skipped_leaves"`
+	Theta           float64 `json:"theta"`
 }
 
 // StreamStatsJSON counts the /stream endpoint's outcomes.

@@ -1,0 +1,180 @@
+package setcontain
+
+// Sorted-slice set algebra over answer id slices (ascending, unique).
+// Each operation appends its result to dst and returns the extended
+// slice; dst must not alias a or b. When the operand sizes are lopsided
+// (ratio >= gallopRatio) the merge gallops: it walks the smaller side
+// and locates each id in the larger by exponential-plus-binary search,
+// bulk-copying skipped runs where the output needs them — O(small ·
+// log large) instead of O(small + large). Balanced inputs use the plain
+// linear merge, whose constant factor wins there.
+
+// gallopRatio is the size ratio at which galloping beats the linear
+// merge: below it, the binary-search constant factor loses to the
+// sequential scan.
+const gallopRatio = 16
+
+// gallop returns the index of the first element of s >= v, by
+// exponential probing followed by binary search — O(log i) for a match
+// i elements in, which is what makes repeated searches with advancing
+// lower bounds linear overall.
+func gallop(s []uint32, v uint32) int {
+	n := len(s)
+	if n == 0 || s[0] >= v {
+		return 0
+	}
+	// Invariant: s[lo] < v; hi is the first unprobed exponent.
+	lo, hi := 0, 1
+	for hi < n && s[hi] < v {
+		lo = hi
+		hi <<= 1
+	}
+	if hi > n {
+		hi = n
+	}
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < v {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// intersectInto appends a ∩ b to dst.
+func intersectInto(dst, a, b []uint32) []uint32 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return dst
+	}
+	if len(b) >= gallopRatio*len(a) {
+		lo := 0
+		for _, v := range a {
+			lo += gallop(b[lo:], v)
+			if lo >= len(b) {
+				break
+			}
+			if b[lo] == v {
+				dst = append(dst, v)
+				lo++
+			}
+		}
+		return dst
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// unionInto appends a ∪ b to dst.
+func unionInto(dst, a, b []uint32) []uint32 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return append(dst, b...)
+	}
+	if len(b) >= gallopRatio*len(a) {
+		j := 0
+		for _, v := range a {
+			k := j + gallop(b[j:], v)
+			dst = append(dst, b[j:k]...)
+			j = k
+			dst = append(dst, v)
+			if j < len(b) && b[j] == v {
+				j++
+			}
+		}
+		return append(dst, b[j:]...)
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		case a[i] > b[j]:
+			dst = append(dst, b[j])
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
+}
+
+// differenceInto appends a \ b to dst.
+func differenceInto(dst, a, b []uint32) []uint32 {
+	if len(a) == 0 {
+		return dst
+	}
+	if len(b) == 0 {
+		return append(dst, a...)
+	}
+	if len(b) >= gallopRatio*len(a) {
+		// Few candidates against a big exclusion set: gallop each.
+		lo := 0
+		for _, v := range a {
+			lo += gallop(b[lo:], v)
+			if lo >= len(b) {
+				// Nothing left to exclude; v and the rest survive — but v
+				// must be re-checked against nothing, so just keep it.
+				dst = append(dst, v)
+				continue
+			}
+			if b[lo] != v {
+				dst = append(dst, v)
+			}
+		}
+		return dst
+	}
+	if len(a) >= gallopRatio*len(b) {
+		// Big kept set minus few exclusions: bulk-copy the runs between
+		// consecutive excluded ids.
+		i := 0
+		for _, w := range b {
+			k := i + gallop(a[i:], w)
+			dst = append(dst, a[i:k]...)
+			i = k
+			if i < len(a) && a[i] == w {
+				i++
+			}
+			if i >= len(a) {
+				break
+			}
+		}
+		return append(dst, a[i:]...)
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return append(dst, a[i:]...)
+}

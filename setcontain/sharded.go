@@ -230,6 +230,19 @@ func (e *shardedEngine) NumRecords() int {
 // slice back.
 func (e *shardedEngine) Unwrap() any { return append([]Engine(nil), e.shards...) }
 
+// ItemSupports sums the shards' support tables: the round-robin
+// partition splits records, not items, so the global support of an item
+// is the sum of its per-shard supports.
+func (e *shardedEngine) ItemSupports() []int64 {
+	supports := make([]int64, e.domain)
+	for _, sh := range e.shards {
+		for it, n := range sh.ItemSupports() {
+			supports[it] += n
+		}
+	}
+	return supports
+}
+
 // MergeSeqs interleaves already-ascending id sequences into one
 // ascending sequence, consuming each input lazily (via iter.Pull) — the
 // streaming form of the k-way interleave the sharded engine's hot path

@@ -49,6 +49,10 @@ type Store struct {
 	// lock; /stats-style readers tolerate the fields being read
 	// without a single atomic cut.
 	totals storeCounters
+
+	// expr holds the expression planner's generation-cached support
+	// profile and counters (see store_expr.go).
+	expr exprState
 }
 
 // storeCounters is the lock-free accumulator behind Store.Stats.

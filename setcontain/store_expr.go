@@ -1,0 +1,155 @@
+package setcontain
+
+import (
+	"context"
+	"iter"
+	"sync"
+	"sync/atomic"
+)
+
+// The Store's expression surface: ExecExpr/ExecExprAppend/ExecExprSeq
+// plan boolean expressions against a support profile cached per store
+// generation, evaluate them on the same pooled readers (ctx interrupts
+// included) as the single-predicate Exec family, and — over a sharded
+// index — push the whole plan down to every shard in parallel, merging
+// the per-shard answers with the round-robin k-way interleave.
+
+// exprState is the Store's expression-planning state: the support
+// profile cache, keyed by store generation so mutations invalidate it
+// through the same Refresh that retires pooled readers, plus the
+// cumulative planner counters.
+type exprState struct {
+	mu   sync.Mutex
+	gen  uint64
+	prof *SupportProfile
+
+	expressions     atomic.Int64
+	evaluatedLeaves atomic.Int64
+	skippedLeaves   atomic.Int64
+}
+
+// Supports returns the store's cached support profile, recomputing it
+// when a Refresh has retired the previous one. The profile snapshots
+// the merged structures under the store's mutation lock, so it never
+// observes a half-applied update.
+func (s *Store) Supports() *SupportProfile {
+	gen := s.gen.Load()
+	s.expr.mu.Lock()
+	defer s.expr.mu.Unlock()
+	if s.expr.prof == nil || s.expr.gen != gen {
+		s.mu.RLock()
+		prof := SupportsOf(s.ix.Engine())
+		s.mu.RUnlock()
+		s.expr.prof, s.expr.gen = prof, gen
+	}
+	return s.expr.prof
+}
+
+// ExprStats is the Store's cumulative planner accounting: expressions
+// executed through the planned path, containment leaves actually
+// evaluated, and leaves the empty-intermediate short-circuit skipped.
+// One-leaf expressions route through the plain Exec path and are not
+// counted here.
+type ExprStats struct {
+	Expressions     int64
+	EvaluatedLeaves int64
+	SkippedLeaves   int64
+}
+
+// ExprStats returns the cumulative planned-evaluation counters.
+func (s *Store) ExprStats() ExprStats {
+	return ExprStats{
+		Expressions:     s.expr.expressions.Load(),
+		EvaluatedLeaves: s.expr.evaluatedLeaves.Load(),
+		SkippedLeaves:   s.expr.skippedLeaves.Load(),
+	}
+}
+
+func (s *Store) noteExprEval(st ExprEvalStats) {
+	s.expr.expressions.Add(1)
+	s.expr.evaluatedLeaves.Add(int64(st.EvaluatedLeaves))
+	s.expr.skippedLeaves.Add(int64(st.SkippedLeaves))
+}
+
+// ExecExpr answers a boolean expression on a pooled reader with planned
+// evaluation. A one-leaf expression degenerates to Exec — identical
+// behaviour and cost to the single-predicate path. Cancellation behaves
+// like Exec: ctx is checked before evaluation and between list-block
+// reads, across every shard of a sharded index.
+func (s *Store) ExecExpr(ctx context.Context, expr *Expr) ([]uint32, error) {
+	if q, ok := expr.AsQuery(); ok {
+		return s.Exec(ctx, q)
+	}
+	return s.ExecExprAppend(ctx, nil, expr)
+}
+
+// ExecExprAppend answers a boolean expression on a pooled reader,
+// appending the answer to dst — the serving form of ExecExpr. Leaves
+// evaluate through the reader's zero-allocation Append path and
+// intermediates recycle inside the evaluator; only the final answer is
+// copied into dst.
+func (s *Store) ExecExprAppend(ctx context.Context, dst []uint32, expr *Expr) ([]uint32, error) {
+	if q, ok := expr.AsQuery(); ok {
+		return s.ExecAppend(ctx, dst, q)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	plan, err := PlanExpr(expr, s.Supports())
+	if err != nil {
+		return nil, err
+	}
+	e, err := s.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer s.release(e)
+	if ctx.Done() != nil {
+		e.arm(ctx)
+	}
+	if sr, ok := e.r.r.(*shardedReader); ok {
+		return s.execExprSharded(dst, plan, sr)
+	}
+	ids, st, err := plan.EvalAppend(dst, e.r)
+	if err != nil {
+		return nil, err
+	}
+	s.noteExprEval(st)
+	return ids, nil
+}
+
+// execExprSharded evaluates the whole plan against every shard in
+// parallel and k-way merges the local answers into global id order.
+// The boolean algebra distributes over the round-robin partition — the
+// shards hold disjoint record sets, so each shard's local answer (its
+// NOT universe included) is exactly the global answer restricted to
+// that shard — which keeps sharded expression answers byte-identical to
+// single-engine ones while every shard plans, short-circuits, and
+// combines independently.
+func (s *Store) execExprSharded(dst []uint32, plan *ExprPlan, sr *shardedReader) ([]uint32, error) {
+	stats := make([]ExprEvalStats, len(sr.shards))
+	ids, err := fanOut(len(sr.shards), func(shard int) ([]uint32, error) {
+		local, st, err := plan.EvalAppend(nil, sr.shards[shard])
+		stats[shard] = st
+		return local, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	// One expression, leaf work summed across the shards that did it.
+	var total ExprEvalStats
+	for _, st := range stats {
+		total.EvaluatedLeaves += st.EvaluatedLeaves
+		total.SkippedLeaves += st.SkippedLeaves
+	}
+	s.noteExprEval(total)
+	return append(dst, ids...), nil
+}
+
+// ExecExprSeq answers a boolean expression as a lazy sequence; the
+// evaluation itself runs eagerly under ctx like ExecExpr, iteration is
+// then cancellation-free. The sequence follows the SubsetSeq contract:
+// ascending unique ids, single-use, abandonable.
+func (s *Store) ExecExprSeq(ctx context.Context, expr *Expr) (iter.Seq[uint32], error) {
+	return seqOf(s.ExecExpr(ctx, expr))
+}
