@@ -25,8 +25,9 @@ bench:
 
 # Tier-1 hot-path benchmarks: the CPU-performance gate of the README's
 # "CPU performance" section, plus the expression planner's
-# planned-vs-naive pair.
-TIER1_BENCH = BenchmarkSubset|BenchmarkEquality|BenchmarkSuperset|BenchmarkExprPlanner
+# planned-vs-naive pair and the streaming-execution trio
+# (streaming-vs-materializing, limit early exit, batch CSE).
+TIER1_BENCH = BenchmarkSubset|BenchmarkEquality|BenchmarkSuperset|BenchmarkExprPlanner|BenchmarkExprStream|BenchmarkExprLimit|BenchmarkExprCSE
 BENCH_TIME ?= 500x
 # Samples per benchmark; benchjson keeps the fastest (min ns/op), which
 # gates robustly on machines with background load.
@@ -54,7 +55,7 @@ bench-compare:
 		echo "benchstat not installed; skipping statistical summary"; \
 	fi
 	$(GO) run ./cmd/benchjson -compare -threshold $(BENCH_TOLERANCE) \
-		-filter '^Benchmark(Subset|Equality|Superset|ExprPlanner)' BENCH_PR3.json bench-new.json
+		-filter '^Benchmark(Subset|Equality|Superset|ExprPlanner|ExprStream|ExprLimit|ExprCSE)' BENCH_PR3.json bench-new.json
 
 # Short coverage-guided runs of every fuzz target (go allows one -fuzz
 # target per invocation): the expression-grammar round-trip fuzzer, the

@@ -16,6 +16,7 @@
 //	subset{3} and not superset{17 29}
 //	                   boolean expression (setcontain.ParseExpr grammar),
 //	                   answered through the cost-based planner
+//	limit 10 EXPR      first 10 ids of EXPR's answer (early exit)
 //	explain EXPR       print the planner's cost-ordered tree for EXPR
 //	insert 3 17 29     add a record, print its id
 //	delete 42          tombstone record 42
@@ -136,7 +137,38 @@ func repl(idx *setcontain.Index, coll *setcontain.Collection, maxShow int) {
 			fmt.Println("commands: subset ITEMS..., equality ITEMS..., superset ITEMS...,")
 			fmt.Println("          insert ITEMS..., delete ID, merge, digest, stats, quit")
 			fmt.Println("expressions: subset{1 2} and not superset{3}  (and/or/not, parens)")
+			fmt.Println("          limit N EXPR answers only the first N ids (early exit)")
 			fmt.Println("          explain EXPR prints the planner's cost-ordered tree")
+		case "limit":
+			if len(fields) < 3 {
+				fmt.Println("usage: limit N EXPR")
+				continue
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				fmt.Printf("bad limit %q (want a non-negative integer)\n", fields[1])
+				continue
+			}
+			expr, err := setcontain.ParseExpr(strings.Join(fields[2:], " "))
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			t0 := time.Now()
+			ids, err := idx.EvalExprLimit(expr, n)
+			if err != nil {
+				fmt.Printf("%s: %v\n", expr, err)
+				continue
+			}
+			show := ids
+			if len(show) > maxShow {
+				show = show[:maxShow]
+			}
+			fmt.Printf("%s limit %d: %d records in %v: %v", expr, n, len(ids), time.Since(t0).Round(time.Microsecond), show)
+			if len(ids) > maxShow {
+				fmt.Printf(" ... (+%d more)", len(ids)-maxShow)
+			}
+			fmt.Println()
 		case "explain":
 			expr, err := setcontain.ParseExpr(strings.Join(fields[1:], " "))
 			if err != nil {

@@ -23,6 +23,7 @@ type queryArena struct {
 	cands    []uint32        // shrinking candidate set
 	aux      []uint32        // secondary id scratch (toCheck, whole lists, results)
 	aux2     []uint32        // tertiary id scratch (confirmed)
+	within   []uint32        // AppendSubsetWithin's new-id candidate scratch
 	scands   []scand         // superset candidate set
 	merged   []scand         // superset merge target (swapped with scands)
 	incoming []vbyte.Posting // superset per-item RoI postings

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"slices"
+
 	"repro/internal/dataset"
 	"repro/internal/sequence"
 	"repro/internal/vbyte"
@@ -137,6 +139,103 @@ func (ix *Index) AppendSubset(dst []uint32, qs []dataset.Item) ([]uint32, error)
 	result := append(checked, confirmed...)
 	ar.aux = result
 	return ix.mapToOriginal(dst, result, q, predContainsAll), nil
+}
+
+// AppendSubsetWithin appends Subset(qs) ∩ cands to dst: the members of
+// cands whose records contain every item of qs. cands must be sorted
+// ascending original-space ids; it is never mutated, so callers may pass
+// shared slices. This is the streaming-AND entry point: when an
+// intersection already holds a small candidate set, probing qs's lists
+// by candidate id (filterByList's block seeks) touches only the blocks
+// those candidates fall in, instead of materializing qs's full answer
+// and intersecting afterwards. The append contract matches AppendSubset:
+// existing dst contents are preserved, the appended region is sorted.
+func (ix *Index) AppendSubsetWithin(dst []uint32, qs []dataset.Item, cands []uint32) ([]uint32, error) {
+	ix.ensureRuntime()
+	q, err := ix.prepRanks(qs)
+	if err != nil {
+		return nil, err
+	}
+	ar := ix.arena
+	n := len(q)
+
+	// Map merged-range candidates into new-id space (delta-range ids are
+	// handled by the delta sweep below). The map permutes ids, so the
+	// mapped set must be re-sorted for the list probes.
+	w := ar.within[:0]
+	for _, c := range cands {
+		if c >= 1 && int(c) <= ix.numRecords {
+			w = append(w, ix.re.NewID(int(c)-1))
+		}
+	}
+	slices.Sort(w)
+	ar.within = w
+
+	// Join against the query's lists, least frequent first — identical to
+	// AppendSubset's filtering phase, minus the RoI candidate scan the
+	// given candidates replace.
+	for i := n - 1; i >= 1 && len(w) > 0; i-- {
+		w, err = ix.filterByList(q[i], w)
+		if err != nil {
+			return nil, err
+		}
+		ar.within = w
+	}
+
+	if n > 0 && len(w) > 0 {
+		// The smallest item, by Theorem 1 — valid for arbitrary candidate
+		// ids, not just list-derived ones: ids inside q[0]'s metadata
+		// region have smallest rank q[0] (contain it by construction), ids
+		// beyond the region have smallest rank > q[0] (cannot contain it),
+		// and ids before it must carry a posting in q[0]'s list.
+		reg := ix.meta.Regions[q[0]]
+		confirmed, toCheck := ar.aux2[:0], ar.aux[:0]
+		for _, id := range w {
+			switch {
+			case reg.ContainsID(id):
+				confirmed = append(confirmed, id)
+			case !reg.Empty() && id > reg.U:
+				// discard
+			default:
+				toCheck = append(toCheck, id)
+			}
+		}
+		ar.aux2, ar.aux = confirmed, toCheck
+		checked, err := ix.filterByList(q[0], toCheck)
+		if err != nil {
+			return nil, err
+		}
+		// toCheck ids all precede region ids, so concatenation stays sorted.
+		w = append(checked, confirmed...)
+		ar.aux = w
+	}
+
+	// Back to original ids with the tombstone mask, then the delta —
+	// restricted to records present in cands, unlike mapToOriginal's
+	// unconditional delta sweep.
+	start := len(dst)
+	dst = slices.Grow(dst, len(w))
+	for _, id := range w {
+		if oid := ix.origID(id); len(ix.dead) == 0 || !ix.isDead(oid) {
+			dst = append(dst, oid)
+		}
+	}
+	if len(ix.delta) > 0 {
+		items := ix.ord.Set(q)
+		for _, r := range ix.delta {
+			if len(ix.dead) > 0 && ix.isDead(r.ID) {
+				continue
+			}
+			if !r.ContainsAll(items) {
+				continue
+			}
+			if _, ok := slices.BinarySearch(cands, r.ID); ok {
+				dst = append(dst, r.ID)
+			}
+		}
+	}
+	slices.Sort(dst[start:])
+	return dst, nil
 }
 
 // Equality returns the ids of records t with t.s = qs (§4.2).

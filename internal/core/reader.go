@@ -56,6 +56,12 @@ func (r *Reader) AppendSubset(dst []uint32, qs []uint32) ([]uint32, error) {
 	return r.ix.AppendSubset(dst, qs)
 }
 
+// AppendSubsetWithin answers like Index.AppendSubsetWithin: the subset
+// answer restricted to a caller-provided sorted candidate set.
+func (r *Reader) AppendSubsetWithin(dst []uint32, qs []uint32, cands []uint32) ([]uint32, error) {
+	return r.ix.AppendSubsetWithin(dst, qs, cands)
+}
+
 // AppendEquality answers like Index.AppendEquality.
 func (r *Reader) AppendEquality(dst []uint32, qs []uint32) ([]uint32, error) {
 	return r.ix.AppendEquality(dst, qs)

@@ -26,6 +26,13 @@ type PlannerResult struct {
 	EvaluatedLeaves int
 	SkippedLeaves   int
 	TotalLeaves     int
+	// LimitN and the latency percentiles report the early-exit sweep: a
+	// hot OR workload on an inverted-file index answered limited
+	// (first LimitN ids, streaming union with early exit) and unlimited
+	// (full materialized answer), per-query wall times.
+	LimitN                             int
+	LimitedP50, LimitedP90, LimitedP99 time.Duration
+	FullP50, FullP90, FullP99          time.Duration
 }
 
 // Speedup is the naive/planned wall-time ratio (>1 means the planner
@@ -159,5 +166,78 @@ func RunPlanner(cfg Config, rounds int) (PlannerResult, error) {
 		res.PlannedTime.Round(time.Microsecond), res.EvaluatedLeaves, res.TotalLeaves, res.SkippedLeaves)
 	fmt.Fprintf(w, "naive:   %-12s  (every leaf, written order)\n", res.NaiveTime.Round(time.Microsecond))
 	fmt.Fprintf(w, "speedup: %.2fx\n", res.Speedup())
+
+	// Early-exit sweep: the same dataset behind an inverted-file index
+	// (its posting cursors stream lazily, so a limit abandons undecoded
+	// list tail), answered through wide hot ORs — the worst case for a
+	// materializing evaluator, the best case for limit pushdown.
+	if err := runLimitSweep(&res, d, cfg, hot, rounds); err != nil {
+		return PlannerResult{}, err
+	}
+	fmt.Fprintf(w, "--- early exit (limit %d, OR-of-hot-subsets, inverted file) ---\n", res.LimitN)
+	fmt.Fprintf(w, "limited:   p50 %-10s p90 %-10s p99 %s\n",
+		res.LimitedP50.Round(time.Microsecond), res.LimitedP90.Round(time.Microsecond), res.LimitedP99.Round(time.Microsecond))
+	fmt.Fprintf(w, "unlimited: p50 %-10s p90 %-10s p99 %s\n",
+		res.FullP50.Round(time.Microsecond), res.FullP90.Round(time.Microsecond), res.FullP99.Round(time.Microsecond))
+	if res.LimitedP50 > 0 {
+		fmt.Fprintf(w, "p50 speedup: %.2fx\n", float64(res.FullP50)/float64(res.LimitedP50))
+	}
 	return res, nil
+}
+
+// runLimitSweep fills the PlannerResult's latency percentiles: per-query
+// wall times for EvalExprLimit(·, 10) versus the unlimited EvalExpr over
+// an OR-of-hot-subset workload on an inverted-file index.
+func runLimitSweep(res *PlannerResult, d *dataset.Dataset, cfg Config, hot []setcontain.Item, rounds int) error {
+	idx, err := setcontain.New(setcontain.WrapDataset(d),
+		setcontain.WithKind(setcontain.InvertedFile),
+		setcontain.WithPageSize(cfg.PageSize),
+		setcontain.WithCachePages(cfg.PoolPages),
+	)
+	if err != nil {
+		return fmt.Errorf("experiments: limit sweep build: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 4000))
+	n := 4 * cfg.QueriesPerSize
+	exprs := make([]*setcontain.Expr, n)
+	for i := range exprs {
+		kids := make([]*setcontain.Expr, 3)
+		for j := range kids {
+			kids[j] = setcontain.ExprOf(setcontain.SubsetQuery(
+				[]setcontain.Item{hot[rng.Intn(len(hot))]}))
+		}
+		exprs[i] = setcontain.Or(kids...)
+	}
+	res.LimitN = 10
+	limited := make([]time.Duration, 0, n*rounds)
+	full := make([]time.Duration, 0, n*rounds)
+	for r := 0; r < rounds; r++ {
+		for _, e := range exprs {
+			t0 := time.Now()
+			if _, err := idx.EvalExprLimit(e, res.LimitN); err != nil {
+				return err
+			}
+			limited = append(limited, time.Since(t0))
+			t0 = time.Now()
+			if _, err := idx.EvalExpr(e); err != nil {
+				return err
+			}
+			full = append(full, time.Since(t0))
+		}
+	}
+	res.LimitedP50, res.LimitedP90, res.LimitedP99 = percentiles(limited)
+	res.FullP50, res.FullP90, res.FullP99 = percentiles(full)
+	return nil
+}
+
+// percentiles sorts samples in place and reads the p50/p90/p99 marks.
+func percentiles(samples []time.Duration) (p50, p90, p99 time.Duration) {
+	if len(samples) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	at := func(p float64) time.Duration {
+		return samples[int(float64(len(samples)-1)*p)]
+	}
+	return at(0.50), at(0.90), at(0.99)
 }

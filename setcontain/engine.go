@@ -305,6 +305,13 @@ func (e *oifEngine) AppendSuperset(dst []uint32, qs []Item) ([]uint32, error) {
 	return e.ix().AppendSuperset(dst, qs)
 }
 
+// AppendSubsetWithin restricts the subset answer to a sorted candidate
+// set in one pass — the planner's streaming-AND pushdown capability
+// (see subsetWithiner).
+func (e *oifEngine) AppendSubsetWithin(dst []uint32, qs []Item, cands []uint32) ([]uint32, error) {
+	return e.ix().AppendSubsetWithin(dst, qs, cands)
+}
+
 // DecodedStats exposes the OIF's decoded-block cache statistics.
 func (e *oifEngine) DecodedStats() DecodedCacheStats {
 	return decodedStatsOf(e.ix().DecodedStats())
@@ -350,6 +357,12 @@ func (e *invEngine) Save(w io.Writer) error {
 func (e *invEngine) Space() SpaceInfo {
 	pages := e.ix().ListPages()
 	return SpaceInfo{Pages: pages, Bytes: pages * int64(e.b.Pool().PageSize())}
+}
+
+// SubsetCursor streams the subset answer with lazily decoded postings —
+// the planner's early-exit capability (see subsetCursorer).
+func (e *invEngine) SubsetCursor(qs []Item) (*invfile.SubsetCursor, error) {
+	return e.ix().SubsetCursor(qs)
 }
 
 // --- Unordered B-tree ---------------------------------------------------

@@ -170,9 +170,15 @@ func planNode(e *Expr, sup *SupportProfile) *PlanNode {
 			}
 		}
 	case OpOr:
-		// A union must materialize every child regardless of order, so
-		// OR children stay as written.
+		// Union is commutative, so OR children evaluate cheapest-first
+		// too. A full union still materializes every child, but the
+		// limit-driven cursor path profits: the cheap legs' cursors sit
+		// at the front of the k-way merge, and an early exit abandons
+		// the expensive legs after barely reading them.
 		n.Kids = planKids(e, sup, &n.Leaves)
+		sort.SliceStable(n.Kids, func(i, j int) bool {
+			return n.Kids[i].Cost < n.Kids[j].Cost
+		})
 		for _, k := range n.Kids {
 			n.Cost += k.Cost
 			if n.Cost >= sup.NumRecords {
@@ -222,74 +228,77 @@ func (n *PlanNode) write(b *strings.Builder, depth int) {
 }
 
 // ExprEvalStats reports what one planned evaluation did: how many
-// containment leaves actually ran against the index, and how many the
-// empty-intermediate short-circuit skipped.
+// containment leaves actually ran against the index, how many of those
+// ran through a streaming path (candidate pushdown or a lazy cursor)
+// instead of full materialization, and how many leaves the
+// empty-intermediate short-circuit skipped entirely.
 type ExprEvalStats struct {
 	EvaluatedLeaves int
+	StreamedLeaves  int
 	SkippedLeaves   int
 }
 
 // Eval answers the planned expression against t, returning ascending
 // unique record ids — byte-identical to the naive Expr.Eval reference,
-// just computed in cost order with short-circuiting.
+// just computed in cost order with short-circuiting and streaming.
+// Hot loops should reuse an Evaluator instead; this convenience form
+// discards the free list after one call.
 func (p *ExprPlan) Eval(t Queryable) ([]uint32, ExprEvalStats, error) {
-	ev := exprEval{t: t}
-	ids, _, err := ev.eval(p.Root)
-	if err != nil {
-		return nil, ev.stats, err
-	}
-	if ids == nil {
-		ids = []uint32{}
-	}
-	return ids, ev.stats, nil
+	var evr Evaluator
+	return evr.Eval(p, t)
 }
 
 // EvalAppend answers the planned expression against t, appending the
 // answer to dst. Intermediate results recycle through an internal free
 // list; with an AppendQueryable target the leaves themselves allocate
 // nothing, so steady-state cost is the set algebra plus one final copy
-// into dst (skipped when dst has no backing array to preserve).
+// into dst (skipped when dst has no backing array to preserve). Reuse
+// an Evaluator to keep the free list warm across calls.
 func (p *ExprPlan) EvalAppend(dst []uint32, t Queryable) ([]uint32, ExprEvalStats, error) {
-	ev := exprEval{t: t}
-	ids, _, err := ev.eval(p.Root)
-	if err != nil {
-		return nil, ev.stats, err
-	}
-	if cap(dst) == 0 {
-		if ids == nil {
-			ids = []uint32{}
-		}
-		return ids, ev.stats, nil
-	}
-	return append(dst, ids...), ev.stats, nil
+	var evr Evaluator
+	return evr.EvalAppend(dst, p, t)
 }
 
-// exprEval is one planned evaluation: the target, the lazily computed
-// universe (the subset{} answer — every live record id), a free list
-// recycling intermediate buffers, and the leaf accounting.
+// EvalLimitAppend answers the first `limit` ids of the planned
+// expression, appending to dst; see Evaluator.EvalLimitAppend.
+func (p *ExprPlan) EvalLimitAppend(dst []uint32, t Queryable, limit int) ([]uint32, ExprEvalStats, error) {
+	var evr Evaluator
+	return evr.EvalLimitAppend(dst, p, t, limit)
+}
+
+// exprEval is one planned evaluation: the target and its discovered
+// streaming capabilities, the lazily computed universe (the subset{}
+// answer — every live record id), the owning Evaluator whose free list
+// recycles intermediate buffers, the batch's subexpression cache when
+// evaluating inside one, and the leaf accounting.
 type exprEval struct {
 	t            Queryable
+	owner        *Evaluator
+	within       subsetWithiner // candidate pushdown, nil when unavailable
+	cursors      subsetCursorer // lazy leaf cursors, nil when unavailable
+	cse          *cseState      // batch subexpression cache, usually nil
 	universe     []uint32
 	haveUniverse bool
-	free         [][]uint32
 	stats        ExprEvalStats
 }
 
-// take pops a recycled buffer (or nil, growing on first use).
+// take pops a recycled buffer from the owning Evaluator's free list
+// (or nil, growing on first use).
 func (ev *exprEval) take() []uint32 {
-	if n := len(ev.free); n > 0 {
-		b := ev.free[n-1][:0]
-		ev.free = ev.free[:n-1]
+	free := ev.owner.free
+	if n := len(free); n > 0 {
+		b := free[n-1][:0]
+		ev.owner.free = free[:n-1]
 		return b
 	}
 	return nil
 }
 
-// put recycles a buffer the evaluator owns; the universe (owned=false)
-// is shared across NOT nodes and never recycled.
+// put recycles a buffer the evaluator owns; un-owned slices — the
+// shared universe, cached CSE results — are never recycled.
 func (ev *exprEval) put(b []uint32, owned bool) {
 	if owned && cap(b) > 0 {
-		ev.free = append(ev.free, b)
+		ev.owner.free = append(ev.owner.free, b)
 	}
 }
 
@@ -306,9 +315,34 @@ func (ev *exprEval) getUniverse() ([]uint32, error) {
 }
 
 // eval computes the node's answer. The returned slice is owned by the
-// evaluator's free list when owned is true; false marks the shared
-// universe slice, which must not be recycled or mutated.
+// evaluator's free list when owned is true; false marks a shared slice
+// — the universe or a batch-cached result — which must not be recycled
+// or mutated. Inside a batch, nodes shared across its expressions
+// evaluate once and serve every later occurrence from cache.
 func (ev *exprEval) eval(n *PlanNode) (ids []uint32, owned bool, err error) {
+	if ev.cse != nil {
+		if key, shared := ev.cse.keys[n]; shared {
+			if cached, hit := ev.cse.cache[key]; hit {
+				ev.cse.hits++
+				ev.cse.savedLeaves += n.Leaves
+				return cached, false, nil
+			}
+			ids, _, err := ev.evalNode(n)
+			if err != nil {
+				return nil, false, err
+			}
+			ev.cse.misses++
+			// The cached slice must survive the whole batch: pin it by
+			// returning it un-owned, so it is neither recycled nor
+			// mutated while later expressions still read it.
+			ev.cse.cache[key] = ids
+			return ids, false, nil
+		}
+	}
+	return ev.evalNode(n)
+}
+
+func (ev *exprEval) evalNode(n *PlanNode) (ids []uint32, owned bool, err error) {
 	switch n.Op {
 	case OpLeaf:
 		ev.stats.EvaluatedLeaves++
@@ -377,6 +411,24 @@ func (ev *exprEval) eval(n *PlanNode) (ids []uint32, owned bool, err error) {
 				out := differenceInto(ev.take(), acc, child)
 				ev.put(acc, accOwned)
 				ev.put(child, childOwned)
+				acc, accOwned = out, true
+				continue
+			}
+			if !first && ev.within != nil && k.Op == OpLeaf &&
+				k.Leaf.Pred == PredicateSubset && !ev.cseShared(k) {
+				// Streaming pushdown: answer the leaf *within* the
+				// accumulated candidate set in one pass — each candidate
+				// is confirmed or discarded against the leaf's lists and
+				// the leaf's full (often huge) answer is never built.
+				// Shared CSE leaves keep materializing: their cached
+				// answer feeds several consumers.
+				ev.stats.EvaluatedLeaves++
+				ev.stats.StreamedLeaves++
+				out, err := ev.within.AppendSubsetWithin(ev.take(), k.Leaf.Items, acc)
+				if err != nil {
+					return nil, false, err
+				}
+				ev.put(acc, accOwned)
 				acc, accOwned = out, true
 				continue
 			}
@@ -520,4 +572,22 @@ func (ix *Index) EvalExpr(e *Expr) ([]uint32, error) {
 	}
 	ids, _, err := plan.Eval(ix)
 	return ids, err
+}
+
+// EvalExprLimit answers the first n ids of the expression's answer with
+// limit-driven early exit (see Evaluator.EvalLimitAppend); n <= 0 means
+// no limit. Like EvalExpr, the profile is rebuilt per call.
+func (ix *Index) EvalExprLimit(e *Expr, n int) ([]uint32, error) {
+	plan, err := ix.PlanExpr(e)
+	if err != nil {
+		return nil, err
+	}
+	ids, _, err := plan.EvalLimitAppend(nil, ix, n)
+	if err != nil {
+		return nil, err
+	}
+	if ids == nil {
+		ids = []uint32{}
+	}
+	return ids, nil
 }

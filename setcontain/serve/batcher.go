@@ -79,12 +79,17 @@ func (c Config) Filled() Config {
 
 // waiter carries one query through the batcher: the request fields its
 // submitter fills, and the result fields the dispatcher publishes
-// before signalling done. Waiters recycle through a sync.Pool, so the
-// warm path submits and completes queries without allocating.
+// before signalling done. A non-nil expr routes the waiter through the
+// expression batch path (shared-subtree caching, optional limit)
+// instead of the single-predicate one. Waiters recycle through a
+// sync.Pool, so the warm path submits and completes queries without
+// allocating.
 type waiter struct {
-	ctx context.Context
-	q   setcontain.Query
-	dst []uint32
+	ctx   context.Context
+	q     setcontain.Query
+	expr  *setcontain.Expr
+	limit int
+	dst   []uint32
 
 	out  []uint32
 	err  error
@@ -92,7 +97,8 @@ type waiter struct {
 }
 
 func (w *waiter) reset() {
-	w.ctx, w.q, w.dst, w.out, w.err = nil, setcontain.Query{}, nil, nil, nil
+	w.ctx, w.q, w.expr, w.limit = nil, setcontain.Query{}, nil, 0
+	w.dst, w.out, w.err = nil, nil, nil
 }
 
 // Batcher coalesces concurrent queries into micro-batches dispatched
@@ -162,11 +168,56 @@ func (b *Batcher) Do(ctx context.Context, dst []uint32, q setcontain.Query) ([]u
 	if b.closed.Load() {
 		return dst, ErrClosed
 	}
+	w := b.getWaiter()
+	w.ctx, w.q, w.dst = ctx, q, dst
+	return b.submit(ctx, w, dst)
+}
+
+// DoExpr submits one boolean expression with the same coalescing,
+// admission control, and buffer contract as Do. A one-leaf expression
+// rides the single-predicate batch path; multi-leaf expressions join
+// the same micro-batches through Store.ExecExprBatchAppend, where
+// subtrees shared across the batch evaluate once on the shared warm
+// reader (the cross-query subexpression cache).
+func (b *Batcher) DoExpr(ctx context.Context, dst []uint32, e *setcontain.Expr) ([]uint32, error) {
+	return b.DoExprLimit(ctx, dst, e, 0)
+}
+
+// DoExprLimit submits one boolean expression whose answer is truncated
+// to its first `limit` ids with early-exit evaluation (0 means no
+// limit, negative returns setcontain.ErrNegativeLimit); otherwise
+// exactly DoExpr.
+func (b *Batcher) DoExprLimit(ctx context.Context, dst []uint32, e *setcontain.Expr, limit int) ([]uint32, error) {
+	if limit < 0 {
+		return dst, setcontain.ErrNegativeLimit
+	}
+	if limit == 0 {
+		if q, ok := e.AsQuery(); ok {
+			return b.Do(ctx, dst, q)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return dst, err
+	}
+	if b.closed.Load() {
+		return dst, ErrClosed
+	}
+	w := b.getWaiter()
+	w.ctx, w.expr, w.limit, w.dst = ctx, e, limit, dst
+	return b.submit(ctx, w, dst)
+}
+
+func (b *Batcher) getWaiter() *waiter {
 	w, _ := b.waiters.Get().(*waiter)
 	if w == nil {
 		w = &waiter{done: make(chan struct{}, 1)}
 	}
-	w.ctx, w.q, w.dst = ctx, q, dst
+	return w
+}
+
+// submit enqueues an already-filled waiter and blocks for its result —
+// the admission and completion halves shared by Do and DoExprLimit.
+func (b *Batcher) submit(ctx context.Context, w *waiter, dst []uint32) ([]uint32, error) {
 	select {
 	case b.reqCh <- w:
 	default:
@@ -198,33 +249,12 @@ func (b *Batcher) Do(ctx context.Context, dst []uint32, q setcontain.Query) ([]u
 	}
 }
 
-// DoExpr submits one boolean expression. A one-leaf expression rides
-// the micro-batching path exactly as Do — identical coalescing,
-// admission control, and buffer contract. A multi-leaf expression
-// dispatches directly through Store.ExecExprAppend on a pooled reader:
-// it already amortizes list work internally (the planner orders and
-// short-circuits its leaves), so it bypasses batch admission — DoExpr
-// never returns ErrSaturated for one — and, being synchronous, always
-// hands dst back on failure.
-func (b *Batcher) DoExpr(ctx context.Context, dst []uint32, e *setcontain.Expr) ([]uint32, error) {
-	if q, ok := e.AsQuery(); ok {
-		return b.Do(ctx, dst, q)
-	}
-	if b.closed.Load() {
-		return dst, ErrClosed
-	}
-	out, err := b.store.ExecExprAppend(ctx, dst, e)
-	if err != nil {
-		return dst, err
-	}
-	return out, nil
-}
-
 // run is one dispatcher: collect a batch, execute it, publish results.
 func (b *Batcher) run() {
 	defer b.wg.Done()
 	batch := make([]*waiter, 0, b.cfg.MaxBatch)
 	items := make([]setcontain.BatchItem, b.cfg.MaxBatch)
+	eitems := make([]setcontain.ExprBatchItem, b.cfg.MaxBatch)
 	timer := time.NewTimer(time.Hour)
 	if !timer.Stop() {
 		<-timer.C
@@ -238,7 +268,7 @@ func (b *Batcher) run() {
 			batch = append(batch, w)
 		}
 		batch = b.fill(batch, timer)
-		b.exec(batch, items)
+		b.exec(batch, items, eitems)
 		batch = batch[:0]
 	}
 }
@@ -283,28 +313,62 @@ func (b *Batcher) fill(batch []*waiter, timer *time.Timer) []*waiter {
 	return batch
 }
 
-// exec dispatches the batch through Store.ExecBatchAppend and publishes
-// each waiter's result. items is the dispatcher's reusable BatchItem
-// arena.
-func (b *Batcher) exec(batch []*waiter, items []setcontain.BatchItem) {
+// exec partitions the batch into plain queries and expressions,
+// dispatches each part through its batch entry point
+// (Store.ExecBatchAppend / Store.ExecExprBatchAppend — the latter
+// evaluates subtrees shared across the batch once), and publishes each
+// waiter's result. items and eitems are the dispatcher's reusable
+// arenas.
+func (b *Batcher) exec(batch []*waiter, items []setcontain.BatchItem, eitems []setcontain.ExprBatchItem) {
 	n := len(batch)
 	if n == 0 {
 		return
 	}
-	for i, w := range batch {
-		items[i] = setcontain.BatchItem{Ctx: w.ctx, Query: w.q, Dst: w.dst}
-	}
-	processed, batchErr := b.store.ExecBatchAppend(b.ctx, items[:n])
-	if batchErr != nil && b.closed.Load() {
-		batchErr = ErrClosed
-	}
-	for i, w := range batch {
-		if i < processed {
-			w.out, w.err = items[i].Out, items[i].Err
+	nq, ne := 0, 0
+	for _, w := range batch {
+		if w.expr != nil {
+			eitems[ne] = setcontain.ExprBatchItem{Ctx: w.ctx, Expr: w.expr, Limit: w.limit, Dst: w.dst}
+			ne++
 		} else {
-			w.out, w.err = nil, batchErr
+			items[nq] = setcontain.BatchItem{Ctx: w.ctx, Query: w.q, Dst: w.dst}
+			nq++
 		}
-		items[i] = setcontain.BatchItem{} // drop buffer references
+	}
+	var qProcessed, eProcessed int
+	var qErr, eErr error
+	if nq > 0 {
+		qProcessed, qErr = b.store.ExecBatchAppend(b.ctx, items[:nq])
+	}
+	if ne > 0 {
+		eProcessed, eErr = b.store.ExecExprBatchAppend(b.ctx, eitems[:ne])
+	}
+	if b.closed.Load() {
+		if qErr != nil {
+			qErr = ErrClosed
+		}
+		if eErr != nil {
+			eErr = ErrClosed
+		}
+	}
+	iq, ie := 0, 0
+	for _, w := range batch {
+		if w.expr != nil {
+			if ie < eProcessed {
+				w.out, w.err = eitems[ie].Out, eitems[ie].Err
+			} else {
+				w.out, w.err = nil, eErr
+			}
+			eitems[ie] = setcontain.ExprBatchItem{} // drop buffer references
+			ie++
+		} else {
+			if iq < qProcessed {
+				w.out, w.err = items[iq].Out, items[iq].Err
+			} else {
+				w.out, w.err = nil, qErr
+			}
+			items[iq] = setcontain.BatchItem{} // drop buffer references
+			iq++
+		}
 		select {
 		case w.done <- struct{}{}:
 		default:

@@ -180,6 +180,88 @@ func TestServerExprErrors(t *testing.T) {
 	})
 }
 
+// TestServerExprLimit wires the limit end-to-end: GET ?limit= on /query
+// and /stream, the "limit" field on POST specs — each answering exactly
+// the first n ids of the unlimited answer — and 400 on a negative or
+// malformed limit.
+func TestServerExprLimit(t *testing.T) {
+	store, h, expr := exprFixture(t)
+	want, err := store.ExecExpr(context.Background(), expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) < 3 {
+		t.Fatalf("fixture expression answers %d ids; test needs at least 3", len(want))
+	}
+	const n = 2
+	for _, path := range []string{"/query", "/stream"} {
+		resp, err := http.Get(h.url + path + "?q=" + url.QueryEscape(expr.String()) + "&limit=2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		ids, errs := decodeResults(t, resp.Body)
+		resp.Body.Close()
+		if len(errs) != 0 {
+			t.Fatalf("GET %s: errors %v", path, errs)
+		}
+		got := ids[0]
+		if len(got) != n || got[0] != want[0] || got[1] != want[1] {
+			t.Fatalf("GET %s limit=%d: got %v, want %v", path, n, got, want[:n])
+		}
+	}
+	req := serve.QueryRequest{Queries: []serve.QuerySpec{
+		{Expr: expr.String(), Limit: n},
+		{Expr: expr.String()},
+	}}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(h.url+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST: status %d", resp.StatusCode)
+	}
+	ids, errs := decodeResults(t, resp.Body)
+	resp.Body.Close()
+	if len(errs) != 0 {
+		t.Fatalf("POST: errors %v", errs)
+	}
+	if len(ids[0]) != n || ids[0][0] != want[0] {
+		t.Fatalf("POST limited query: got %v, want %v", ids[0], want[:n])
+	}
+	if len(ids[1]) != len(want) {
+		t.Fatalf("POST unlimited query: %d ids, want %d", len(ids[1]), len(want))
+	}
+	// Bad limits are client errors before any evaluation.
+	for _, bad := range []string{"-1", "nope", "1.5"} {
+		for _, path := range []string{"/query", "/stream"} {
+			resp, err := http.Get(h.url + path + "?q=" + url.QueryEscape("subset{1}") + "&limit=" + url.QueryEscape(bad))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("GET %s limit=%q: status %d, want 400", path, bad, resp.StatusCode)
+			}
+		}
+	}
+	resp, err = http.Post(h.url+"/query", "application/json",
+		strings.NewReader(`{"queries":[{"expr":"subset{1}","limit":-3}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("POST negative limit: status %d, want 400", resp.StatusCode)
+	}
+}
+
 // TestServerStatsPlanner checks /stats reports the expression planner's
 // accounting after a multi-leaf query ran.
 func TestServerStatsPlanner(t *testing.T) {

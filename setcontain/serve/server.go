@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"iter"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -111,13 +112,37 @@ func (s *Server) getBuf() []uint32 {
 
 func (s *Server) putBuf(buf []uint32) { s.bufs.Put(&buf) }
 
+// exprReq is one parsed query of a request: the expression tree plus
+// its answer limit (0 = unlimited).
+type exprReq struct {
+	expr  *setcontain.Expr
+	limit int
+}
+
+// parseLimit reads an optional ?limit= query parameter: absent means
+// unlimited (0), anything that is not a non-negative integer is a
+// client error.
+func parseLimit(r *http.Request) (int, error) {
+	raw := r.URL.Query().Get("limit")
+	if raw == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("serve: limit must be a non-negative integer, got %q", raw)
+	}
+	return n, nil
+}
+
 // parseRequest extracts the request's queries as expression trees: the
 // JSON body on POST (structured Pred/Items specs and textual Expr
 // specs alike), the ?q= textual form on GET, both through the
 // setcontain.ParseExpr grammar — a plain predicate parses as its
-// one-leaf degenerate expression. Parse failures surface the
+// one-leaf degenerate expression. Each query carries its answer limit:
+// the spec's "limit" field on POST, the ?limit= parameter on GET; a
+// negative limit is a client error. Parse failures surface the
 // *setcontain.ParseError so the handler can answer with the offset.
-func parseRequest(r *http.Request) ([]*setcontain.Expr, error) {
+func parseRequest(r *http.Request) ([]exprReq, error) {
 	switch r.Method {
 	case http.MethodPost:
 		var req QueryRequest
@@ -129,21 +154,28 @@ func parseRequest(r *http.Request) ([]*setcontain.Expr, error) {
 		if len(req.Queries) == 0 {
 			return nil, errors.New("serve: request carries no queries")
 		}
-		es := make([]*setcontain.Expr, len(req.Queries))
+		es := make([]exprReq, len(req.Queries))
 		for i, spec := range req.Queries {
+			if spec.Limit < 0 {
+				return nil, fmt.Errorf("serve: query %d: %w", i, setcontain.ErrNegativeLimit)
+			}
 			e, err := spec.Parse()
 			if err != nil {
 				return nil, fmt.Errorf("serve: query %d: %w", i, err)
 			}
-			es[i] = e
+			es[i] = exprReq{expr: e, limit: spec.Limit}
 		}
 		return es, nil
 	case http.MethodGet:
+		limit, err := parseLimit(r)
+		if err != nil {
+			return nil, err
+		}
 		e, err := setcontain.ParseExpr(r.URL.Query().Get("q"))
 		if err != nil {
 			return nil, err
 		}
-		return []*setcontain.Expr{e}, nil
+		return []exprReq{{expr: e, limit: limit}}, nil
 	default:
 		return nil, fmt.Errorf("serve: method %s not allowed", r.Method)
 	}
@@ -181,9 +213,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	started := false
 	for i, q := range qs {
-		// Buffer ownership follows DoExpr's contract: a non-nil out is
-		// ours to recycle, a nil out is forfeited to a live dispatcher.
-		out, err := s.batcher.DoExpr(ctx, s.getBuf(), q)
+		// Buffer ownership follows DoExprLimit's contract: a non-nil out
+		// is ours to recycle, a nil out is forfeited to a live dispatcher.
+		out, err := s.batcher.DoExprLimit(ctx, s.getBuf(), q.expr, q.limit)
 		switch {
 		case err == nil:
 			if !started {
@@ -257,13 +289,23 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "serve: GET only", http.StatusMethodNotAllowed)
 		return
 	}
+	limit, err := parseLimit(r)
+	if err != nil {
+		writeQueryError(w, err, http.StatusBadRequest)
+		return
+	}
 	expr, err := setcontain.ParseExpr(r.URL.Query().Get("q"))
 	if err != nil {
 		writeQueryError(w, err, http.StatusBadRequest)
 		return
 	}
 	ctx := r.Context()
-	seq, err := s.store.ExecExprSeq(ctx, expr)
+	var seq iter.Seq[uint32]
+	if limit > 0 {
+		seq, err = s.store.ExecExprLimitSeq(ctx, expr, limit)
+	} else {
+		seq, err = s.store.ExecExprSeq(ctx, expr)
+	}
 	if err != nil {
 		if ctx.Err() != nil {
 			s.streamsAborted.Add(1)
@@ -357,7 +399,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Planner = PlannerStatsJSON{
 		Expressions:     est.Expressions,
 		EvaluatedLeaves: est.EvaluatedLeaves,
+		StreamedLeaves:  est.StreamedLeaves,
 		SkippedLeaves:   est.SkippedLeaves,
+		CSEHits:         est.CSEHits,
+		CSEMisses:       est.CSEMisses,
+		CSESavedLeaves:  est.CSESavedLeaves,
 		Theta:           s.store.Supports().Theta,
 	}
 	for _, p := range setcontain.ShardPlans(s.idx.Engine()) {

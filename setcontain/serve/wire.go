@@ -29,6 +29,9 @@ type QuerySpec struct {
 	Pred  string            `json:"pred,omitempty"`
 	Items []setcontain.Item `json:"items,omitempty"`
 	Expr  string            `json:"expr,omitempty"`
+	// Limit caps the answer to its first Limit ids (ascending). Zero or
+	// absent means the full answer; a negative limit is rejected (400).
+	Limit int `json:"limit,omitempty"`
 }
 
 // Query converts the spec to a setcontain.Query, validating the
@@ -237,12 +240,21 @@ type ShardPlanJSON struct {
 // skew parameter the cost model planned against. EvaluatedLeaves and
 // SkippedLeaves split each expression's containment leaves into ones
 // actually run and ones the rarest-first ordering's empty-intermediate
-// short-circuit discarded; Theta is the fitted Zipf exponent of the
-// store's cached support profile.
+// short-circuit discarded; StreamedLeaves counts the evaluated leaves
+// that ran through the streaming tier (candidate pushdown or a lazy
+// posting cursor) instead of materializing their full answer. The CSE
+// counters account for the batcher's cross-query subexpression cache:
+// hits and misses on shared plan subtrees within a micro-batch, and the
+// leaf evaluations those hits saved. Theta is the fitted Zipf exponent
+// of the store's cached support profile.
 type PlannerStatsJSON struct {
 	Expressions     int64   `json:"expressions"`
 	EvaluatedLeaves int64   `json:"evaluated_leaves"`
+	StreamedLeaves  int64   `json:"streamed_leaves"`
 	SkippedLeaves   int64   `json:"skipped_leaves"`
+	CSEHits         int64   `json:"cse_hits"`
+	CSEMisses       int64   `json:"cse_misses"`
+	CSESavedLeaves  int64   `json:"cse_saved_leaves"`
 	Theta           float64 `json:"theta"`
 }
 

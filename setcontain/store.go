@@ -75,6 +75,11 @@ type storeReader struct {
 	lastCache   CacheStats
 	lastDecoded DecodedCacheStats
 
+	// eval is the reader's persistent expression evaluator: its free
+	// list survives across the queries this pooled reader serves, so
+	// steady-state expression evaluation allocates nothing.
+	eval Evaluator
+
 	// Cancellation state consulted by hook: batch spans a whole
 	// Exec/ExecBatchAppend call, item narrows to the query currently
 	// executing. hook is created once per storeReader and reused, so

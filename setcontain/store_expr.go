@@ -2,6 +2,7 @@ package setcontain
 
 import (
 	"context"
+	"errors"
 	"iter"
 	"sync"
 	"sync/atomic"
@@ -12,7 +13,14 @@ import (
 // generation, evaluate them on the same pooled readers (ctx interrupts
 // included) as the single-predicate Exec family, and — over a sharded
 // index — push the whole plan down to every shard in parallel, merging
-// the per-shard answers with the round-robin k-way interleave.
+// the per-shard answers with the round-robin k-way interleave. The
+// limit family (ExecExprLimit and friends) additionally stops the
+// evaluation after the first n ids, and ExecExprBatchAppend evaluates a
+// micro-batch on one warm reader with shared subtrees computed once.
+
+// ErrNegativeLimit reports a negative limit passed to the ExecExprLimit
+// family; the serving layer maps it to a 400.
+var ErrNegativeLimit = errors.New("setcontain: negative limit")
 
 // exprState is the Store's expression-planning state: the support
 // profile cache, keyed by store generation so mutations invalidate it
@@ -25,7 +33,11 @@ type exprState struct {
 
 	expressions     atomic.Int64
 	evaluatedLeaves atomic.Int64
+	streamedLeaves  atomic.Int64
 	skippedLeaves   atomic.Int64
+	cseHits         atomic.Int64
+	cseMisses       atomic.Int64
+	cseSavedLeaves  atomic.Int64
 }
 
 // Supports returns the store's cached support profile, recomputing it
@@ -47,13 +59,20 @@ func (s *Store) Supports() *SupportProfile {
 
 // ExprStats is the Store's cumulative planner accounting: expressions
 // executed through the planned path, containment leaves actually
-// evaluated, and leaves the empty-intermediate short-circuit skipped.
-// One-leaf expressions route through the plain Exec path and are not
-// counted here.
+// evaluated (and how many of those streamed instead of materializing),
+// leaves the empty-intermediate short-circuit skipped, and the batch
+// subexpression cache's hit/miss/saved-leaf counters. One-leaf
+// expressions route through the plain Exec path and are not counted
+// here (except through the limit and batch entry points, which always
+// plan).
 type ExprStats struct {
 	Expressions     int64
 	EvaluatedLeaves int64
+	StreamedLeaves  int64
 	SkippedLeaves   int64
+	CSEHits         int64
+	CSEMisses       int64
+	CSESavedLeaves  int64
 }
 
 // ExprStats returns the cumulative planned-evaluation counters.
@@ -61,14 +80,28 @@ func (s *Store) ExprStats() ExprStats {
 	return ExprStats{
 		Expressions:     s.expr.expressions.Load(),
 		EvaluatedLeaves: s.expr.evaluatedLeaves.Load(),
+		StreamedLeaves:  s.expr.streamedLeaves.Load(),
 		SkippedLeaves:   s.expr.skippedLeaves.Load(),
+		CSEHits:         s.expr.cseHits.Load(),
+		CSEMisses:       s.expr.cseMisses.Load(),
+		CSESavedLeaves:  s.expr.cseSavedLeaves.Load(),
 	}
 }
 
 func (s *Store) noteExprEval(st ExprEvalStats) {
 	s.expr.expressions.Add(1)
 	s.expr.evaluatedLeaves.Add(int64(st.EvaluatedLeaves))
+	s.expr.streamedLeaves.Add(int64(st.StreamedLeaves))
 	s.expr.skippedLeaves.Add(int64(st.SkippedLeaves))
+}
+
+func (s *Store) noteCSE(c *cseState) {
+	if c == nil {
+		return
+	}
+	s.expr.cseHits.Add(int64(c.hits))
+	s.expr.cseMisses.Add(int64(c.misses))
+	s.expr.cseSavedLeaves.Add(int64(c.savedLeaves))
 }
 
 // ExecExpr answers a boolean expression on a pooled reader with planned
@@ -85,9 +118,10 @@ func (s *Store) ExecExpr(ctx context.Context, expr *Expr) ([]uint32, error) {
 
 // ExecExprAppend answers a boolean expression on a pooled reader,
 // appending the answer to dst — the serving form of ExecExpr. Leaves
-// evaluate through the reader's zero-allocation Append path and
-// intermediates recycle inside the evaluator; only the final answer is
-// copied into dst.
+// evaluate through the reader's zero-allocation Append path (streaming
+// into the accumulated candidate set where the engine supports it) and
+// intermediates recycle inside the reader's persistent evaluator; only
+// the final answer is copied into dst.
 func (s *Store) ExecExprAppend(ctx context.Context, dst []uint32, expr *Expr) ([]uint32, error) {
 	if q, ok := expr.AsQuery(); ok {
 		return s.ExecAppend(ctx, dst, q)
@@ -110,12 +144,73 @@ func (s *Store) ExecExprAppend(ctx context.Context, dst []uint32, expr *Expr) ([
 	if sr, ok := e.r.r.(*shardedReader); ok {
 		return s.execExprSharded(dst, plan, sr)
 	}
-	ids, st, err := plan.EvalAppend(dst, e.r)
+	ids, st, err := e.eval.EvalAppend(dst, plan, e.r)
 	if err != nil {
 		return nil, err
 	}
 	s.noteExprEval(st)
 	return ids, nil
+}
+
+// ExecExprLimit answers the first n ids of the expression's answer —
+// exactly the prefix of what ExecExpr would return — stopping the
+// evaluation as soon as n ids are produced: on cursor-capable engines
+// (the inverted file) postings past the stop point are never decoded,
+// and over a sharded index each shard evaluates under the same
+// per-shard limit before the k-way merge truncates globally. n == 0
+// means no limit; a negative n returns ErrNegativeLimit.
+func (s *Store) ExecExprLimit(ctx context.Context, expr *Expr, n int) ([]uint32, error) {
+	ids, err := s.ExecExprLimitAppend(ctx, nil, expr, n)
+	if err != nil {
+		return nil, err
+	}
+	if ids == nil {
+		ids = []uint32{}
+	}
+	return ids, nil
+}
+
+// ExecExprLimitAppend is the append form of ExecExprLimit. Unlike
+// ExecExprAppend, one-leaf expressions do not degenerate to the plain
+// Exec path — the limit machinery itself is the fast path.
+func (s *Store) ExecExprLimitAppend(ctx context.Context, dst []uint32, expr *Expr, n int) ([]uint32, error) {
+	if n < 0 {
+		return nil, ErrNegativeLimit
+	}
+	if n == 0 {
+		return s.ExecExprAppend(ctx, dst, expr)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	plan, err := PlanExpr(expr, s.Supports())
+	if err != nil {
+		return nil, err
+	}
+	e, err := s.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer s.release(e)
+	if ctx.Done() != nil {
+		e.arm(ctx)
+	}
+	if sr, ok := e.r.r.(*shardedReader); ok {
+		return s.execExprShardedLimit(dst, plan, sr, n)
+	}
+	ids, st, err := e.eval.EvalLimitAppend(dst, plan, e.r, n)
+	if err != nil {
+		return nil, err
+	}
+	s.noteExprEval(st)
+	return ids, nil
+}
+
+// ExecExprLimitSeq answers the first n ids as a lazy sequence; the
+// evaluation itself runs eagerly under ctx like ExecExprLimit,
+// iteration is then cancellation-free.
+func (s *Store) ExecExprLimitSeq(ctx context.Context, expr *Expr, n int) (iter.Seq[uint32], error) {
+	return seqOf(s.ExecExprLimit(ctx, expr, n))
 }
 
 // execExprSharded evaluates the whole plan against every shard in
@@ -136,14 +231,43 @@ func (s *Store) execExprSharded(dst []uint32, plan *ExprPlan, sr *shardedReader)
 	if err != nil {
 		return nil, err
 	}
-	// One expression, leaf work summed across the shards that did it.
+	s.noteExprEval(sumShardStats(stats))
+	return append(dst, ids...), nil
+}
+
+// execExprShardedLimit pushes the limit down to every shard: the
+// round-robin partition maps each shard's ascending local answer to an
+// ascending global subsequence, so the global first n ids are always
+// contained in the union of the shards' local first n — evaluate each
+// shard under limit n, merge, and truncate.
+func (s *Store) execExprShardedLimit(dst []uint32, plan *ExprPlan, sr *shardedReader, n int) ([]uint32, error) {
+	stats := make([]ExprEvalStats, len(sr.shards))
+	ids, err := fanOut(len(sr.shards), func(shard int) ([]uint32, error) {
+		local, st, err := plan.EvalLimitAppend(nil, sr.shards[shard], n)
+		stats[shard] = st
+		return local, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(ids) > n {
+		ids = ids[:n]
+	}
+	s.noteExprEval(sumShardStats(stats))
+	return append(dst, ids...), nil
+}
+
+// sumShardStats folds per-shard evaluation stats into one expression's
+// accounting: one expression, leaf work summed across the shards that
+// did it.
+func sumShardStats(stats []ExprEvalStats) ExprEvalStats {
 	var total ExprEvalStats
 	for _, st := range stats {
 		total.EvaluatedLeaves += st.EvaluatedLeaves
+		total.StreamedLeaves += st.StreamedLeaves
 		total.SkippedLeaves += st.SkippedLeaves
 	}
-	s.noteExprEval(total)
-	return append(dst, ids...), nil
+	return total
 }
 
 // ExecExprSeq answers a boolean expression as a lazy sequence; the
@@ -152,4 +276,111 @@ func (s *Store) execExprSharded(dst []uint32, plan *ExprPlan, sr *shardedReader)
 // ascending unique ids, single-use, abandonable.
 func (s *Store) ExecExprSeq(ctx context.Context, expr *Expr) (iter.Seq[uint32], error) {
 	return seqOf(s.ExecExpr(ctx, expr))
+}
+
+// ExprBatchItem is one expression of an ExecExprBatchAppend call: the
+// expression, an optional first-n limit, its caller-owned append
+// target, and (after the call) its answer or error.
+type ExprBatchItem struct {
+	// Ctx optionally scopes this item alone, exactly like
+	// BatchItem.Ctx. Nil means the batch context governs.
+	Ctx context.Context
+	// Expr is the boolean expression to answer.
+	Expr *Expr
+	// Limit truncates the answer to its first Limit ids; 0 means the
+	// full answer, negative fails the item with ErrNegativeLimit.
+	Limit int
+	// Dst is the append target; the caller owns it throughout.
+	Dst []uint32
+	// Out receives the extended Dst slice on success, nil on error.
+	Out []uint32
+	// Err receives this item's error.
+	Err error
+}
+
+// ExecExprBatchAppend answers the expressions sequentially on a single
+// pooled reader — the expression counterpart of ExecBatchAppend, and
+// the entry point behind the serve package's micro-batcher. Beyond the
+// shared warm reader, the batch gets common-subexpression elimination:
+// plan subtrees whose canonical form repeats across the batch (a hot
+// `subset` leg shared by several queries, a common filter conjunction)
+// evaluate once, and every later occurrence reuses the cached answer.
+// The hit/miss/saved-leaf counters surface through ExprStats.
+//
+// Per-item results land in items[i].Out / items[i].Err; the return
+// contract (processed count, batch ctx) is ExecBatchAppend's. Over a
+// sharded index each item fans out to the shards individually — the
+// cache applies to single-engine stores, where one reader's arenas and
+// caches serve the whole batch.
+func (s *Store) ExecExprBatchAppend(ctx context.Context, items []ExprBatchItem) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if len(items) == 0 {
+		return 0, nil
+	}
+	prof := s.Supports()
+	plans := make([]*ExprPlan, len(items))
+	for i := range items {
+		it := &items[i]
+		it.Out, it.Err = nil, nil
+		if it.Limit < 0 {
+			it.Err = ErrNegativeLimit
+			continue
+		}
+		plan, err := PlanExpr(it.Expr, prof)
+		if err != nil {
+			it.Err = err
+			continue
+		}
+		plans[i] = plan
+	}
+	cse := collectCSE(plans)
+	e, err := s.acquire()
+	if err != nil {
+		return 0, err
+	}
+	defer s.release(e)
+	armed := false
+	for i := range items {
+		if err := ctx.Err(); err != nil {
+			return i, err
+		}
+		it := &items[i]
+		if plans[i] == nil {
+			continue // planning already failed the item
+		}
+		ictx := it.Ctx
+		if ictx == nil {
+			ictx = ctx
+		}
+		if err := ictx.Err(); err != nil {
+			it.Err = err
+			continue
+		}
+		if !armed && (ictx.Done() != nil || ctx.Done() != nil) {
+			armed = true
+			e.arm(ctx)
+		}
+		if armed {
+			e.item = ictx
+		}
+		if sr, ok := e.r.r.(*shardedReader); ok {
+			if it.Limit > 0 {
+				it.Out, it.Err = s.execExprShardedLimit(it.Dst, plans[i], sr, it.Limit)
+			} else {
+				it.Out, it.Err = s.execExprSharded(it.Dst, plans[i], sr)
+			}
+			continue
+		}
+		ids, st, err := e.eval.evalCSE(it.Dst, plans[i], e.r, cse, it.Limit)
+		if err != nil {
+			it.Err = err
+			continue
+		}
+		it.Out = ids
+		s.noteExprEval(st)
+	}
+	s.noteCSE(cse)
+	return len(items), nil
 }

@@ -1,0 +1,357 @@
+package setcontain
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// withPendingMutations applies the same pending inserts and tombstones
+// to every updatable kind, so the streaming paths face delta sweeps and
+// tombstone masking, not just clean disk structures.
+func withPendingMutations(t *testing.T, idxs map[Kind]*Index, c *Collection) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(4321))
+	var inserts [][]Item
+	for i := 0; i < 20; i++ {
+		inserts = append(inserts, []Item{Item(rng.Intn(40)), Item(rng.Intn(40))})
+	}
+	var deletes []uint32
+	for i := 0; i < 30; i++ {
+		deletes = append(deletes, uint32(1+rng.Intn(c.Len())))
+	}
+	for kind, ix := range idxs {
+		if kind == UnorderedBTree {
+			continue
+		}
+		for _, set := range inserts {
+			if _, err := ix.Insert(set); err != nil {
+				t.Fatalf("%v: insert: %v", kind, err)
+			}
+		}
+		for _, id := range deletes {
+			if err := ix.Delete(id); err != nil {
+				t.Fatalf("%v: delete: %v", kind, err)
+			}
+		}
+	}
+}
+
+// TestEvaluatorStreamingMatchesMaterializing is the tentpole's equality
+// property: for random expressions, across every engine kind (pending
+// deltas and tombstones included), the streaming evaluator — candidate
+// pushdown into AND legs, lazy posting cursors under ORs — returns ids
+// byte-identical to the materializing evaluator and to the naive
+// reference. Both evaluators are reused across trials so the free-list
+// recycling path is under test too.
+func TestEvaluatorStreamingMatchesMaterializing(t *testing.T) {
+	c := sampleCollection(t)
+	idxs := buildAll(t, c)
+	withPendingMutations(t, idxs, c)
+	rng := rand.New(rand.NewSource(2024))
+	streaming := NewEvaluator(EvalAuto)
+	materializing := NewEvaluator(EvalMaterialize)
+	for trial := 0; trial < 120; trial++ {
+		e := randExpr(rng, 3, 40)
+		for kind, ix := range idxs {
+			plan, err := ix.PlanExpr(e)
+			if err != nil {
+				t.Fatalf("%v: plan %q: %v", kind, e, err)
+			}
+			want, err := e.Eval(ix)
+			if err != nil {
+				t.Fatalf("%v: naive %q: %v", kind, e, err)
+			}
+			got, _, err := streaming.Eval(plan, ix)
+			if err != nil {
+				t.Fatalf("%v: streaming %q: %v", kind, e, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%v: streaming %q: got %d ids, naive %d", kind, e, len(got), len(want))
+			}
+			mat, _, err := materializing.Eval(plan, ix)
+			if err != nil {
+				t.Fatalf("%v: materializing %q: %v", kind, e, err)
+			}
+			if !reflect.DeepEqual(mat, want) {
+				t.Fatalf("%v: materializing %q: got %d ids, naive %d", kind, e, len(mat), len(want))
+			}
+		}
+	}
+}
+
+// TestExprLimitFirstN pins the early-exit contract: a limited
+// evaluation returns exactly the first n ids of the unlimited answer —
+// never a different subset — for every engine kind, with pending deltas
+// and tombstones, at every limit position (inside, at, and past the
+// answer's end).
+func TestExprLimitFirstN(t *testing.T) {
+	c := sampleCollection(t)
+	idxs := buildAll(t, c)
+	withPendingMutations(t, idxs, c)
+	rng := rand.New(rand.NewSource(9876))
+	for trial := 0; trial < 80; trial++ {
+		e := randExpr(rng, 3, 40)
+		for kind, ix := range idxs {
+			plan, err := ix.PlanExpr(e)
+			if err != nil {
+				t.Fatalf("%v: plan %q: %v", kind, e, err)
+			}
+			full, _, err := plan.EvalAppend(nil, ix)
+			if err != nil {
+				t.Fatalf("%v: full %q: %v", kind, e, err)
+			}
+			limits := []int{0, 1, 2, 7, len(full), len(full) + 5}
+			for _, n := range limits {
+				got, _, err := plan.EvalLimitAppend(nil, ix, n)
+				if err != nil {
+					t.Fatalf("%v: limit %d %q: %v", kind, n, e, err)
+				}
+				want := full
+				if n > 0 && n < len(full) {
+					want = full[:n]
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%v: limit %d %q: got %d ids, want %d", kind, n, e, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%v: limit %d %q: id[%d] = %d, want %d", kind, n, e, i, got[i], want[i])
+					}
+				}
+			}
+			// The Index convenience wrapper agrees.
+			viaIdx, err := ix.EvalExprLimit(e, 3)
+			if err != nil {
+				t.Fatalf("%v: EvalExprLimit %q: %v", kind, e, err)
+			}
+			want := full
+			if len(want) > 3 {
+				want = want[:3]
+			}
+			if !reflect.DeepEqual(viaIdx, append([]uint32{}, want...)) && len(viaIdx)+len(want) > 0 {
+				if len(viaIdx) != len(want) {
+					t.Fatalf("%v: EvalExprLimit %q: got %d ids, want %d", kind, e, len(viaIdx), len(want))
+				}
+				for i := range want {
+					if viaIdx[i] != want[i] {
+						t.Fatalf("%v: EvalExprLimit %q diverges at %d", kind, e, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStoreExecExprLimit exercises the Store's limit surface: the
+// sharded fan-out's per-shard limit pushdown stays first-n exact, the
+// Seq form agrees, a negative limit is refused with the sentinel, and
+// limit 0 means unlimited.
+func TestStoreExecExprLimit(t *testing.T) {
+	c := sampleCollection(t)
+	ctx := context.Background()
+	e, err := ParseExpr("subset{1} or subset{2 3} or equality{4} or not superset{0 1 2 3 4 5 6 7 8 9}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []Kind{OIF, InvertedFile, UnorderedBTree, Sharded} {
+		ix, err := Build(c, Options{Kind: kind, PageSize: 512, BlockPostings: 8, Shards: 3})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		s := NewStore(ix, 0)
+		full, err := s.ExecExpr(ctx, e)
+		if err != nil {
+			t.Fatalf("%v: ExecExpr: %v", kind, err)
+		}
+		if len(full) == 0 {
+			t.Fatalf("%v: workload answered no ids; test needs a wide answer", kind)
+		}
+		for _, n := range []int{0, 1, 5, len(full), len(full) + 9} {
+			got, err := s.ExecExprLimit(ctx, e, n)
+			if err != nil {
+				t.Fatalf("%v: ExecExprLimit(%d): %v", kind, n, err)
+			}
+			want := full
+			if n > 0 && n < len(full) {
+				want = full[:n]
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%v: ExecExprLimit(%d): got %d ids, want %d", kind, n, len(got), len(want))
+			}
+		}
+		seq, err := s.ExecExprLimitSeq(ctx, e, 4)
+		if err != nil {
+			t.Fatalf("%v: ExecExprLimitSeq: %v", kind, err)
+		}
+		var seqIDs []uint32
+		for id := range seq {
+			seqIDs = append(seqIDs, id)
+		}
+		if !reflect.DeepEqual(seqIDs, full[:4]) {
+			t.Fatalf("%v: ExecExprLimitSeq: got %v, want %v", kind, seqIDs, full[:4])
+		}
+		if _, err := s.ExecExprLimit(ctx, e, -1); !errors.Is(err, ErrNegativeLimit) {
+			t.Fatalf("%v: negative limit: %v, want ErrNegativeLimit", kind, err)
+		}
+	}
+}
+
+// TestStorePlanOrderTracksMerge is the Supports() cache regression test:
+// a merge that flips two items' relative rarity must retire the cached
+// profile, so plans built after the merge order their AND legs by the
+// new supports, not the stale ones.
+func TestStorePlanOrderTracksMerge(t *testing.T) {
+	// Item 0 starts rarer than item 1: 10 vs 100 records.
+	c := NewCollection(8)
+	for i := 0; i < 10; i++ {
+		if _, err := c.Add([]Item{0, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := c.Add([]Item{1, 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := Build(c, Options{Kind: OIF, PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(ix, 0)
+	e, err := ParseExpr("subset{1} and subset{0}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.Supports()
+	if before.Support(0) >= before.Support(1) {
+		t.Fatalf("setup broken: support(0)=%d, support(1)=%d", before.Support(0), before.Support(1))
+	}
+	plan, err := ix.PlanExpr(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.Root.Kids[0].Leaf.String(); got != "subset{0}" {
+		t.Fatalf("pre-merge first AND leg is %s, want subset{0}\nplan:\n%s", got, plan)
+	}
+	// Flip the rarity: 300 new records carry item 0, none carry item 1.
+	if err := s.Update(func() error {
+		for i := 0; i < 300; i++ {
+			if _, err := ix.Insert([]Item{0, 4}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Update(ix.MergeDelta); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Supports()
+	if after == before {
+		t.Fatal("supports profile not refreshed after merge")
+	}
+	if after.Support(0) <= after.Support(1) {
+		t.Fatalf("post-merge support(0)=%d not above support(1)=%d", after.Support(0), after.Support(1))
+	}
+	plan, err = ix.PlanExpr(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.Root.Kids[0].Leaf.String(); got != "subset{1}" {
+		t.Fatalf("post-merge first AND leg is %s, want subset{1}\nplan:\n%s", got, plan)
+	}
+}
+
+// TestExecExprBatchCSE pins the cross-query subexpression cache: a
+// micro-batch whose expressions share a hot subtree evaluates that
+// subtree once, serves the rest from cache, counts hits/misses/saved
+// leaves deterministically, and answers exactly what per-expression
+// execution answers — limited items included.
+func TestExecExprBatchCSE(t *testing.T) {
+	c := sampleCollection(t)
+	ctx := context.Background()
+	ix, err := Build(c, Options{Kind: OIF, PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(ix, 0)
+	// Every expression shares the subtree (subset{1} and subset{2});
+	// collectCSE keys it (and its leaves) as shared across the batch.
+	shared := "(subset{1} and subset{2})"
+	exprTexts := []string{
+		shared + " or subset{3}",
+		shared + " or subset{4}",
+		shared + " or equality{5}",
+		shared + " or subset{6 7}",
+	}
+	items := make([]ExprBatchItem, len(exprTexts))
+	want := make([][]uint32, len(exprTexts))
+	for i, txt := range exprTexts {
+		e, err := ParseExpr(txt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items[i] = ExprBatchItem{Expr: e}
+		if want[i], err = s.ExecExpr(ctx, e); err != nil {
+			t.Fatalf("ExecExpr %q: %v", txt, err)
+		}
+	}
+	// One limited item on top: the cursor path must coexist with CSE.
+	items[3].Limit = 2
+	if len(want[3]) > 2 {
+		want[3] = want[3][:2]
+	}
+	pre := s.ExprStats()
+	n, err := s.ExecExprBatchAppend(ctx, items)
+	if err != nil || n != len(items) {
+		t.Fatalf("ExecExprBatchAppend: n=%d err=%v", n, err)
+	}
+	for i := range items {
+		if items[i].Err != nil {
+			t.Fatalf("item %d: %v", i, items[i].Err)
+		}
+		if !reflect.DeepEqual(items[i].Out, want[i]) {
+			t.Fatalf("item %d: got %d ids, want %d", i, len(items[i].Out), len(want[i]))
+		}
+	}
+	st := s.ExprStats()
+	misses := st.CSEMisses - pre.CSEMisses
+	hits := st.CSEHits - pre.CSEHits
+	saved := st.CSESavedLeaves - pre.CSESavedLeaves
+	if misses == 0 || hits == 0 {
+		t.Fatalf("no cache traffic: hits=%d misses=%d", hits, misses)
+	}
+	// The shared AND subtree misses once and hits on the three other
+	// expressions; its leaves may be keyed too, but a hit on the parent
+	// means the leaves underneath are never consulted.
+	if hits < 3 {
+		t.Fatalf("shared subtree hit %d times, want >= 3", hits)
+	}
+	if saved < 3 {
+		t.Fatalf("saved %d leaf evaluations, want >= 3", saved)
+	}
+	// A second identical batch starts a fresh cache: same counts again.
+	for i := range items {
+		items[i].Out, items[i].Dst, items[i].Err = nil, nil, nil
+	}
+	if _, err := s.ExecExprBatchAppend(ctx, items); err != nil {
+		t.Fatal(err)
+	}
+	st2 := s.ExprStats()
+	if st2.CSEHits-st.CSEHits != hits || st2.CSEMisses-st.CSEMisses != misses {
+		t.Fatalf("second batch counted hits=%d misses=%d, want %d/%d",
+			st2.CSEHits-st.CSEHits, st2.CSEMisses-st.CSEMisses, hits, misses)
+	}
+	// Negative limit surfaces per item, failing the whole call's item.
+	items[0].Limit = -1
+	if _, err := s.ExecExprBatchAppend(ctx, items); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(items[0].Err, ErrNegativeLimit) {
+		t.Fatalf("negative-limit item error = %v, want ErrNegativeLimit", items[0].Err)
+	}
+}
