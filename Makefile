@@ -5,7 +5,7 @@ GOLANGCI ?= golangci-lint
 COVER_FLOOR ?= 75
 COVER_PKGS = ./setcontain/... ./internal/stats/...
 
-.PHONY: all build vet test bench bench-baseline bench-compare fuzz-smoke lint cover check linkcheck vet-examples serve snapshot-smoke crash-smoke
+.PHONY: all build vet test bench bench-baseline bench-compare fuzz-smoke lint cover check linkcheck vet-examples serve snapshot-smoke crash-smoke scatter-smoke clean
 
 all: check
 
@@ -100,6 +100,14 @@ snapshot-smoke:
 crash-smoke:
 	./scripts/crash-smoke.sh
 
+# Distribution end-to-end: two shard daemons plus a coordinator versus a
+# single-node daemon on the same dataset — mixed query/expr/limit
+# traffic must digest-compare identical (built, pending, merged), and
+# killing one shard must surface a clean error naming it. The CI matrix
+# runs this.
+scatter-smoke:
+	./scripts/scatter-smoke.sh
+
 cover:
 	$(GO) test -coverprofile=coverage.out $(COVER_PKGS)
 	@$(GO) tool cover -func=coverage.out | awk -v floor=$(COVER_FLOOR) \
@@ -107,5 +115,13 @@ cover:
 		 if ($$3 + 0 < floor) { printf "FAIL: coverage %.1f%% below floor %d%%\n", $$3, floor; exit 1 } \
 		 else { printf "coverage %.1f%% (floor %d%%)\n", $$3, floor } } \
 		 END { if (!seen) { print "FAIL: no coverage total (go tool cover failed?)"; exit 1 } }'
+
+# Remove build/bench/coverage droppings (all of them .gitignore'd):
+# bench-compare output, coverage profiles, locally built CLI binaries,
+# and the cached fuzzing corpus.
+clean:
+	rm -f bench-new.json bench-new.txt coverage.out bench-output.txt
+	rm -f oifbench oifquery setcontaind setgen benchjson
+	$(GO) clean -fuzzcache
 
 check: build vet test

@@ -31,6 +31,7 @@ func main() {
 		workers    = flag.Int("workers", 8, "max goroutines for -experiment concurrency (swept 1,2,4,...), the -experiment sharding query load, and the -experiment serve client sweep")
 		addr       = flag.String("addr", "", "for -experiment serve: a live setcontaind base URL (empty starts an in-process server)")
 		shards     = flag.Int("shards", 8, "max shard count for -experiment sharding (swept 1,2,4,...)")
+		transport  = flag.String("transport", "engine", "for -experiment sharding: engine (direct), inproc (ShardClient layer), or http (per-shard HTTP daemons)")
 		rounds     = flag.Int("rounds", 5, "workload repetitions for -experiment planner")
 		scale      = flag.Float64("scale", 0.01, "fraction of the paper's synthetic |D| (1.0 = paper scale)")
 		realScale  = flag.Float64("realscale", 0.1, "fraction of the real-dataset twins' record counts")
@@ -81,7 +82,7 @@ func main() {
 		}
 		_, err = experiments.RunConcurrency(cfg, kind, *workers)
 	case "sharding":
-		_, err = experiments.RunSharding(cfg, *shards, *workers)
+		_, err = experiments.RunSharding(cfg, *shards, *workers, *transport)
 	case "serve":
 		_, err = experiments.RunServe(cfg, *workers, *addr)
 	case "restore":

@@ -28,10 +28,28 @@
 //
 //	setcontaind -synthetic 100000 -wal-dir /var/lib/setcontain -fsync always
 //
+// The daemon also runs distributed. A shard daemon holds one slice of a
+// round-robin partition; a coordinator fans queries out to shard
+// daemons over the /shard/* wire protocol and merges their answers:
+//
+//	setcontaind -addr :8081 -synthetic 100000 -shard-of 0 -shard-count 2 -index oif
+//	setcontaind -addr :8082 -synthetic 100000 -shard-of 1 -shard-count 2 -index oif
+//	setcontaind -addr :8080 -coordinator http://localhost:8081,http://localhost:8082
+//
+// Every shard daemon must load the same dataset flags (or its own split
+// snapshot); -shard-of keeps only the records the round-robin scheme
+// routes to that shard. -split-snapshot decomposes a coordinator (or
+// any sharded) snapshot into per-shard snapshot files that shard
+// daemons boot from directly:
+//
+//	setcontaind -snapshot idx.snap -split-snapshot shards/
+//	setcontaind -addr :8081 -snapshot shards/shard-000.snap
+//
 // Endpoints: POST /query (batch, NDJSON answers), GET /query?q=…,
-// GET /stream?q=… (flushed chunks), GET /stats, GET /healthz, plus the
-// mutation surface POST /admin/{insert,delete,merge,snapshot,checkpoint}.
-// Try it:
+// GET /stream?q=… (flushed chunks), GET /stats, GET /healthz, the
+// mutation surface POST /admin/{insert,delete,merge,snapshot,checkpoint},
+// and the shard wire protocol /shard/{info,supports,query,insert,delete,
+// merge,snapshot}. Try it:
 //
 //	curl -sg 'localhost:8080/query?q=subset{3+17}'
 //	curl -s -d '{"queries":[{"pred":"superset","items":[1,2,3]}]}' localhost:8080/query
@@ -46,10 +64,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -64,6 +85,11 @@ func main() {
 		addr = flag.String("addr", ":8080", "listen address")
 
 		snapshot = flag.String("snapshot", "", "boot from this snapshot container instead of building from a dataset")
+
+		shardOf     = flag.Int("shard-of", -1, "serve only this shard of a -shard-count way round-robin partition of the dataset")
+		shardCount  = flag.Int("shard-count", 0, "total shards in the partition this daemon is one slice of (with -shard-of)")
+		coordinator = flag.String("coordinator", "", "comma-separated shard daemon base URLs to coordinate instead of holding data locally")
+		splitSnap   = flag.String("split-snapshot", "", "split the -snapshot sharded container into per-shard snapshots in this directory, then exit")
 
 		data      = flag.String("data", "", "dataset file in the text format (one record per line)")
 		msweb     = flag.String("msweb", "", "dataset file in the UCI msweb format")
@@ -94,6 +120,17 @@ func main() {
 	)
 	flag.Parse()
 
+	if *splitSnap != "" {
+		if *snapshot == "" {
+			log.Fatalf("setcontaind: -split-snapshot needs -snapshot naming the sharded container to split")
+		}
+		splitSnapshot(*snapshot, *splitSnap)
+		return
+	}
+	if *shardOf >= 0 && (*shardCount < 1 || *shardOf >= *shardCount) {
+		log.Fatalf("setcontaind: -shard-of %d needs -shard-count > %d", *shardOf, *shardOf)
+	}
+
 	build := func() *setcontain.Index {
 		if *snapshot != "" {
 			f, err := os.Open(*snapshot)
@@ -114,6 +151,17 @@ func main() {
 		coll, source, err := loadCollection(*data, *msweb, *replicas, *synthetic, *domain, *zipf, *seed)
 		if err != nil {
 			log.Fatalf("setcontaind: %v", err)
+		}
+		if *shardOf >= 0 {
+			// A shard daemon loads the full dataset and keeps only the
+			// records the partitioner routes here, re-numbered into this
+			// shard's local id space — exactly the slice an in-process
+			// sharded build would hand this shard.
+			coll, err = shardSlice(coll, *shardOf, *shardCount)
+			if err != nil {
+				log.Fatalf("setcontaind: %v", err)
+			}
+			source = fmt.Sprintf("%s [shard %d/%d]", source, *shardOf, *shardCount)
 		}
 		kind, err := setcontain.ParseKind(*index)
 		if err != nil {
@@ -142,7 +190,25 @@ func main() {
 		store   *setcontain.Store
 		durable *setcontain.Durable
 	)
-	if *walDir != "" {
+	if *coordinator != "" {
+		if *walDir != "" {
+			log.Fatalf("setcontaind: -coordinator forwards mutations to the shard daemons; attach -wal-dir to them, not to the coordinator")
+		}
+		urls := splitURLs(*coordinator)
+		if len(urls) == 0 {
+			log.Fatalf("setcontaind: -coordinator carries no shard URLs")
+		}
+		dialCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		var err error
+		idx, err = setcontain.ConnectShards(dialCtx, urls)
+		cancel()
+		if err != nil {
+			log.Fatalf("setcontaind: connecting shards: %v", err)
+		}
+		store = setcontain.NewStore(idx, *cache)
+		log.Printf("coordinating %d remote shards: %d records over %d items",
+			len(urls), idx.NumRecords(), idx.Engine().DomainSize())
+	} else if *walDir != "" {
 		policy, err := wal.ParseSyncPolicy(*fsync)
 		if err != nil {
 			log.Fatalf("setcontaind: %v", err)
@@ -224,6 +290,79 @@ func main() {
 		}
 	}
 	log.Printf("shut down cleanly")
+}
+
+// shardSlice keeps only the records the round-robin partitioner routes
+// to shard, re-numbered into the shard's local id space. The returned
+// collection's id i is global id (i-1)*count + shard + 1 — the mapping
+// a coordinator's Partitioner applies when merging this shard's
+// answers.
+func shardSlice(coll *setcontain.Collection, shard, count int) (*setcontain.Collection, error) {
+	part := setcontain.NewRoundRobinPartitioner(count)
+	out := setcontain.NewCollection(coll.DomainSize())
+	for g := uint32(1); g <= uint32(coll.Len()); g++ {
+		s, local := part.Locate(g)
+		if s != shard {
+			continue
+		}
+		set, err := coll.Record(g)
+		if err != nil {
+			return nil, err
+		}
+		id, err := out.Add(set)
+		if err != nil {
+			return nil, fmt.Errorf("shard slice: record %d: %w", g, err)
+		}
+		if id != local {
+			return nil, fmt.Errorf("shard slice: record %d landed at local id %d, partitioner says %d", g, id, local)
+		}
+	}
+	return out, nil
+}
+
+// splitURLs parses the -coordinator flag: comma-separated base URLs,
+// blanks tolerated.
+func splitURLs(s string) []string {
+	var urls []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return urls
+}
+
+// splitSnapshot decomposes a sharded snapshot container into one
+// bootable single-engine snapshot file per shard (shard-000.snap, …)
+// in dir.
+func splitSnapshot(path, dir string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatalf("setcontaind: %v", err)
+	}
+	defer f.Close()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatalf("setcontaind: %v", err)
+	}
+	err = setcontain.SplitSnapshot(f, func(s int, plan setcontain.ShardPlan, frame io.Reader) error {
+		name := filepath.Join(dir, fmt.Sprintf("shard-%03d.snap", s))
+		out, err := os.Create(name)
+		if err != nil {
+			return err
+		}
+		n, err := io.Copy(out, frame)
+		if cerr := out.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		log.Printf("shard %d: %s, %d records, %d bytes -> %s", s, plan.Kind, plan.Records, n, name)
+		return nil
+	})
+	if err != nil {
+		log.Fatalf("setcontaind: %v", err)
+	}
 }
 
 // loadCollection resolves the dataset flags to an indexed collection

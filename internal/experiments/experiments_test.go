@@ -387,7 +387,7 @@ func TestRunAblationsSmall(t *testing.T) {
 func TestRunShardingSweep(t *testing.T) {
 	var out bytes.Buffer
 	cfg := tinyConfig(&out)
-	res, err := RunSharding(cfg, 4, 2)
+	res, err := RunSharding(cfg, 4, 2, "engine")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -411,6 +411,30 @@ func TestRunShardingSweep(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "Sharded engine sweep") {
 		t.Fatalf("report missing header:\n%s", out.String())
+	}
+}
+
+// TestRunShardingTransports smoke-tests the transport ladder: the sweep
+// must complete over the ShardClient layer and over per-shard HTTP
+// daemons, and reject transports it does not know.
+func TestRunShardingTransports(t *testing.T) {
+	for _, transport := range []string{"inproc", "http"} {
+		var out bytes.Buffer
+		res, err := RunSharding(tinyConfig(&out), 2, 2, transport)
+		if err != nil {
+			t.Fatalf("%s: %v", transport, err)
+		}
+		if res.Transport != transport || len(res.Points) != 2 {
+			t.Fatalf("%s sweep shape wrong: %+v", transport, res)
+		}
+		for _, pt := range res.Points {
+			if pt.QPS <= 0 {
+				t.Errorf("%s: %d shards: no throughput: %+v", transport, pt.Shards, pt)
+			}
+		}
+	}
+	if _, err := RunSharding(tinyConfig(&bytes.Buffer{}), 2, 2, "carrier-pigeon"); err == nil {
+		t.Fatal("unknown transport accepted")
 	}
 }
 

@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"net/http/httptest"
 	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/workload"
 	"repro/setcontain"
+	"repro/setcontain/serve"
 )
 
 // ShardingPoint is one measured shard count: how long the parallel
@@ -22,9 +25,10 @@ type ShardingPoint struct {
 
 // ShardingResult is the shard-count sweep over one dataset.
 type ShardingResult struct {
-	Queries int
-	Workers int
-	Points  []ShardingPoint
+	Queries   int
+	Workers   int
+	Transport string
+	Points    []ShardingPoint
 }
 
 // RunSharding sweeps the Sharded engine's shard count (1, 2, 4, ... up
@@ -35,13 +39,26 @@ type ShardingResult struct {
 // decisions (inner engine kind, fitted skew) are printed alongside.
 // Gains track the machine: on one core the sweep degenerates to
 // overhead measurement, on N cores both build time and QPS scale.
-func RunSharding(cfg Config, maxShards, workers int) (ShardingResult, error) {
+//
+// transport selects how the coordinator reaches its shards: "engine"
+// (or "") queries the sharded engine directly, "inproc" routes through
+// the ShardClient layer with in-process clients, and "http" serves
+// every shard from its own HTTP daemon and fans out over the /shard/*
+// wire protocol — the cost ladder of the transport abstraction.
+func RunSharding(cfg Config, maxShards, workers int, transport string) (ShardingResult, error) {
 	cfg.fill()
 	if maxShards <= 0 {
 		maxShards = 8
 	}
 	if workers <= 0 {
 		workers = 8
+	}
+	switch transport {
+	case "":
+		transport = "engine"
+	case "engine", "inproc", "http":
+	default:
+		return ShardingResult{}, fmt.Errorf("experiments: unknown transport %q (engine, inproc, or http)", transport)
 	}
 	d, err := dataset.GenerateSynthetic(cfg.SyntheticDefaults())
 	if err != nil {
@@ -59,10 +76,10 @@ func RunSharding(cfg Config, maxShards, workers int) (ShardingResult, error) {
 	const rounds = 20
 	total := len(queries) * rounds
 
-	res := ShardingResult{Queries: total, Workers: workers}
+	res := ShardingResult{Queries: total, Workers: workers, Transport: transport}
 	w := cfg.Out
-	fmt.Fprintf(w, "=== Sharded engine sweep (|D|=%d, %d queries/point, %d workers) ===\n",
-		d.Len(), total, workers)
+	fmt.Fprintf(w, "=== Sharded engine sweep (|D|=%d, %d queries/point, %d workers, transport %s) ===\n",
+		d.Len(), total, workers, transport)
 	for shards := 1; shards <= maxShards; shards *= 2 {
 		// Keep the aggregate cache budget constant across points: each
 		// shard gets PoolPages/shards pages, so throughput differences
@@ -87,8 +104,12 @@ func RunSharding(cfg Config, maxShards, workers int) (ShardingResult, error) {
 		}
 		buildTime := time.Since(buildStart)
 
-		store := setcontain.NewStore(idx, perShardCache)
+		store, cleanup, err := shardingStore(idx, transport, perShardCache)
+		if err != nil {
+			return ShardingResult{}, fmt.Errorf("experiments: %s transport over %d shards: %w", transport, shards, err)
+		}
 		elapsed, err := runStoreWorkers(store, queries, rounds, workers)
+		cleanup()
 		if err != nil {
 			return ShardingResult{}, err
 		}
@@ -105,6 +126,44 @@ func RunSharding(cfg Config, maxShards, workers int) (ShardingResult, error) {
 			pt.Elapsed.Round(time.Microsecond), pt.QPS, summarisePlans(pt.Plans))
 	}
 	return res, nil
+}
+
+// shardingStore wraps the freshly built sharded index for the requested
+// transport and returns the Store queries should run through, plus a
+// cleanup tearing down whatever the transport stood up. "engine" serves
+// the index as-is; "inproc" and "http" rebuild the coordinator over
+// ShardClients aliasing the same shard engines, so every transport
+// answers from identical data.
+func shardingStore(idx *setcontain.Index, transport string, cachePages int) (*setcontain.Store, func(), error) {
+	if transport == "engine" {
+		return setcontain.NewStore(idx, cachePages), func() {}, nil
+	}
+	engines := setcontain.ShardEngines(idx.Engine())
+	clients := make([]setcontain.ShardClient, len(engines))
+	var downs []func()
+	cleanup := func() {
+		for i := len(downs) - 1; i >= 0; i-- {
+			downs[i]()
+		}
+	}
+	for i, eng := range engines {
+		switch transport {
+		case "inproc":
+			clients[i] = setcontain.InprocShard(eng)
+		case "http":
+			sidx := setcontain.IndexOver(eng)
+			sv := serve.NewServer(sidx, setcontain.NewStore(sidx, cachePages), serve.Config{})
+			ts := httptest.NewServer(sv.Handler())
+			clients[i] = setcontain.NewRemoteShard(ts.URL, nil)
+			downs = append(downs, ts.Close, sv.Close)
+		}
+	}
+	cidx, err := setcontain.ShardedOverClients(context.Background(), clients)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	return setcontain.NewStore(cidx, cachePages), cleanup, nil
 }
 
 // summarisePlans compresses per-shard decisions into e.g. "OIF x4" or

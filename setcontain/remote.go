@@ -1,0 +1,389 @@
+package setcontain
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The remote shard client speaks the compact HTTP/NDJSON shard protocol
+// served by setcontain/serve's /shard/* handler group (which defines
+// the wire fields; the unexported mirror structs here must match them):
+//
+//	GET  /shard/info      -> {"kind","records","domain","pending_inserts","deleted"}
+//	GET  /shard/supports  -> {"domain","supports":[...]}
+//	POST /shard/query     {"q":"<expr text>","limit":n}
+//	                      -> NDJSON result lines {"ids":[...],"more":true}* {"done":true,"count":n}
+//	POST /shard/insert    {"set":[...]}     -> {"id":n}
+//	POST /shard/delete    {"id":n}          -> {"deleted":1}
+//	POST /shard/merge     -> mutation-state JSON
+//	POST /shard/snapshot  -> binary snapshot container
+//
+// Queries travel in the setcontain.ParseExpr grammar (Query.String and
+// Expr.String render it), so the daemon's parser is the single wire
+// authority, and answers stream back as ascending shard-local ids.
+// Cancellation is end-to-end: aborting the request closes the HTTP
+// stream, which cancels the daemon's request context, which interrupts
+// the shard's evaluation between list-block reads.
+
+// interruptPollInterval is how often an in-flight remote call polls the
+// session's interrupt hook. The hook is a poll-style func (the Store's
+// reusable context check), so a watchdog converts it into request
+// cancellation; fast queries finish before the first tick.
+const interruptPollInterval = 2 * time.Millisecond
+
+// NewRemoteShard returns a ShardClient for the shard daemon at baseURL
+// (e.g. "http://127.0.0.1:7411"). hc is the HTTP client to use; nil
+// selects a dedicated client with no overall timeout — per-call
+// deadlines come from the caller's contexts, and streaming queries may
+// legitimately run long.
+func NewRemoteShard(baseURL string, hc *http.Client) ShardClient {
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &remoteClient{base: strings.TrimRight(baseURL, "/"), hc: hc}
+}
+
+// ConnectShards dials one remote shard daemon per URL (in shard order,
+// matching the partition the daemons hold) and assembles them into a
+// coordinator Index; see ShardedOverClients for the validation applied.
+func ConnectShards(ctx context.Context, urls []string) (*Index, error) {
+	clients := make([]ShardClient, len(urls))
+	for i, u := range urls {
+		clients[i] = NewRemoteShard(u, nil)
+	}
+	return ShardedOverClients(ctx, clients)
+}
+
+// Wire mirrors of the serve package's shard protocol bodies (setcontain
+// cannot import serve — serve imports setcontain).
+type (
+	shardInfoWire struct {
+		Kind    string `json:"kind"`
+		Records int    `json:"records"`
+		Domain  int    `json:"domain"`
+		Pending int    `json:"pending_inserts"`
+		Deleted int    `json:"deleted"`
+	}
+	shardSupportsWire struct {
+		Domain   int     `json:"domain"`
+		Supports []int64 `json:"supports"`
+	}
+	shardQueryWire struct {
+		Q     string `json:"q"`
+		Limit int    `json:"limit,omitempty"`
+	}
+	shardInsertWire struct {
+		Set []Item `json:"set"`
+	}
+	shardInsertedWire struct {
+		ID uint32 `json:"id"`
+	}
+	shardDeleteWire struct {
+		ID uint32 `json:"id"`
+	}
+	shardResultWire struct {
+		IDs   []uint32 `json:"ids"`
+		More  bool     `json:"more"`
+		Done  bool     `json:"done"`
+		Count int      `json:"count"`
+		Error string   `json:"error"`
+	}
+)
+
+type remoteClient struct {
+	base string
+	hc   *http.Client
+}
+
+func (c *remoteClient) Info(ctx context.Context) (ShardInfo, error) {
+	var w shardInfoWire
+	if err := c.do(ctx, http.MethodGet, "/shard/info", nil, &w); err != nil {
+		return ShardInfo{}, err
+	}
+	kind, err := ParseKind(w.Kind)
+	if err != nil {
+		return ShardInfo{}, fmt.Errorf("setcontain: shard %s: %w", c.base, err)
+	}
+	return ShardInfo{
+		Kind:    kind,
+		Records: w.Records,
+		Domain:  w.Domain,
+		Pending: w.Pending,
+		Deleted: w.Deleted,
+	}, nil
+}
+
+// Session opens a data-plane session. The protocol is stateless per
+// call, so sessions carry only the interrupt hook; cachePages is the
+// daemon's concern and is ignored here.
+func (c *remoteClient) Session(int) (ShardSession, error) {
+	return &remoteSession{c: c}, nil
+}
+
+func (c *remoteClient) ItemSupports(ctx context.Context) ([]int64, error) {
+	var w shardSupportsWire
+	if err := c.do(ctx, http.MethodGet, "/shard/supports", nil, &w); err != nil {
+		return nil, err
+	}
+	if len(w.Supports) != w.Domain {
+		return nil, fmt.Errorf("setcontain: shard %s: supports table has %d entries, domain is %d",
+			c.base, len(w.Supports), w.Domain)
+	}
+	return w.Supports, nil
+}
+
+func (c *remoteClient) Insert(ctx context.Context, set []Item) (uint32, error) {
+	var w shardInsertedWire
+	if err := c.do(ctx, http.MethodPost, "/shard/insert", shardInsertWire{Set: set}, &w); err != nil {
+		return 0, err
+	}
+	return w.ID, nil
+}
+
+func (c *remoteClient) Delete(ctx context.Context, local uint32) error {
+	return c.do(ctx, http.MethodPost, "/shard/delete", shardDeleteWire{ID: local}, nil)
+}
+
+func (c *remoteClient) MergeDelta(ctx context.Context) error {
+	return c.do(ctx, http.MethodPost, "/shard/merge", nil, nil)
+}
+
+func (c *remoteClient) Snapshot(ctx context.Context, w io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/shard/snapshot", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("setcontain: shard %s: %w", c.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return c.httpError(resp)
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+func (c *remoteClient) Close() error {
+	c.hc.CloseIdleConnections()
+	return nil
+}
+
+// do runs one JSON round-trip: in (nil for an empty body) marshalled as
+// the request, out (nil to discard) decoded from a 200 response.
+func (c *remoteClient) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("setcontain: shard %s: %w", c.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return c.httpError(resp)
+	}
+	if out == nil {
+		_, err = io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// httpError turns a non-200 response into an error carrying the shard's
+// own message: the JSON {"error": …} body where the daemon wrote one,
+// the plain-text body otherwise.
+func (c *remoteClient) httpError(resp *http.Response) error {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	msg := strings.TrimSpace(string(b))
+	var je struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(b, &je) == nil && je.Error != "" {
+		msg = je.Error
+	}
+	if msg == "" {
+		msg = resp.Status
+	}
+	return fmt.Errorf("setcontain: shard %s: %s (HTTP %d)", c.base, msg, resp.StatusCode)
+}
+
+// remoteSession is the data plane: one streaming query at a time, with
+// the Store's interrupt hook converted into HTTP request cancellation
+// by a per-call watchdog.
+type remoteSession struct {
+	c *remoteClient
+
+	mu        sync.Mutex
+	interrupt func() error
+}
+
+func (s *remoteSession) SetInterrupt(fn func() error) {
+	s.mu.Lock()
+	s.interrupt = fn
+	s.mu.Unlock()
+}
+
+// check consults the installed interrupt hook, if any.
+func (s *remoteSession) check() error {
+	s.mu.Lock()
+	fn := s.interrupt
+	s.mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}
+
+func (s *remoteSession) AppendQuery(ctx context.Context, dst []uint32, q Query) ([]uint32, error) {
+	if !q.Pred.known() {
+		return nil, ErrUnknownPredicate
+	}
+	return s.appendWire(ctx, dst, q.String(), 0)
+}
+
+func (s *remoteSession) AppendExpr(ctx context.Context, dst []uint32, expr *Expr, limit int) ([]uint32, error) {
+	return s.appendWire(ctx, dst, expr.String(), limit)
+}
+
+// appendWire posts one textual query and appends the streamed NDJSON
+// answer chunks to dst. The final line's count must match what was
+// received — a short stream (daemon died mid-answer) fails rather than
+// silently truncating.
+func (s *remoteSession) appendWire(ctx context.Context, dst []uint32, q string, limit int) ([]uint32, error) {
+	if err := s.check(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cctx, stop := s.watch(ctx)
+	defer stop()
+	body, err := json.Marshal(shardQueryWire{Q: q, Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(cctx, http.MethodPost, s.c.base+"/shard/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.c.hc.Do(req)
+	if err != nil {
+		return nil, s.failure(ctx, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, s.c.httpError(resp)
+	}
+	dec := json.NewDecoder(resp.Body)
+	base := len(dst)
+	for {
+		var line shardResultWire
+		if err := dec.Decode(&line); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil, s.failure(ctx, fmt.Errorf("setcontain: shard %s: answer stream ended before its final line", s.c.base))
+			}
+			return nil, s.failure(ctx, err)
+		}
+		if line.Error != "" {
+			return nil, fmt.Errorf("setcontain: shard %s: %s", s.c.base, line.Error)
+		}
+		dst = append(dst, line.IDs...)
+		if line.Done {
+			if got := len(dst) - base; got != line.Count {
+				return nil, fmt.Errorf("setcontain: shard %s: answer carries %d ids, final line says %d",
+					s.c.base, got, line.Count)
+			}
+			return dst, nil
+		}
+		if err := s.check(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// failure maps a transport error to what the caller should see: the
+// interrupt hook's error (the Store ctx that tripped the watchdog), the
+// caller's own ctx error, then the transport error itself.
+func (s *remoteSession) failure(ctx context.Context, err error) error {
+	if herr := s.check(); herr != nil {
+		return herr
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return fmt.Errorf("setcontain: shard %s: %w", s.c.base, err)
+}
+
+// watch converts the poll-style interrupt hook into context
+// cancellation for the duration of one call: a goroutine polls the hook
+// and cancels the derived context when it trips, which closes the HTTP
+// stream and propagates the cancellation to the daemon. Without a hook
+// installed the caller's ctx is returned untouched and no goroutine
+// starts.
+func (s *remoteSession) watch(ctx context.Context) (context.Context, func()) {
+	s.mu.Lock()
+	hooked := s.interrupt != nil
+	s.mu.Unlock()
+	if !hooked {
+		return ctx, func() {}
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		ticker := time.NewTicker(interruptPollInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-cctx.Done():
+				return
+			case <-ticker.C:
+				if s.check() != nil {
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	// stop waits for the watchdog to exit: the hook closure reads state
+	// the caller (the Store's reader lifecycle) mutates right after the
+	// call returns, so a merely-signaled watchdog could still be mid-poll.
+	return cctx, func() {
+		once.Do(func() {
+			close(done)
+			cancel()
+			<-stopped
+		})
+	}
+}
+
+func (s *remoteSession) Stats() CacheStats { return CacheStats{} }
+func (s *remoteSession) ResetStats()       {}
+func (s *remoteSession) Close() error      { return nil }

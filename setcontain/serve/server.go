@@ -98,6 +98,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/admin/merge", s.handleMerge)
 	mux.HandleFunc("/admin/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/admin/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("/shard/info", s.handleShardInfo)
+	mux.HandleFunc("/shard/supports", s.handleShardSupports)
+	mux.HandleFunc("/shard/query", s.handleShardQuery)
+	mux.HandleFunc("/shard/insert", s.handleShardInsert)
+	mux.HandleFunc("/shard/delete", s.handleShardDelete)
+	mux.HandleFunc("/shard/merge", s.handleMerge)
+	mux.HandleFunc("/shard/snapshot", s.handleSnapshot)
 	return mux
 }
 

@@ -1,28 +1,26 @@
 package setcontain
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"iter"
 	"runtime"
-	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/stats"
 	"repro/internal/storage"
 )
 
-// The sharded engine hash-partitions records across N inner engines and
+// The sharded engine partitions records across N inner engines and
 // answers every query by fanning it out to all shards in parallel,
 // merging the per-shard streams back into one ascending global-id
-// sequence. Partitioning is by record id modulo N (round-robin), so the
-// global id of shard s's local record L is recoverable in O(1):
-//
-//	global = (L-1)*N + s + 1
-//
-// and each shard's ascending local answer maps to an ascending global
-// subsequence — the merge is a pure k-way interleave, which is what
-// makes sharded answers byte-identical to the single-engine ones.
+// sequence. The id arithmetic lives in the engine's Partitioner
+// (round-robin by default: shard = (g-1) mod N, local = (g-1)/N + 1),
+// and the fan-out/merge in the scatter-gather executor (scatter.go) —
+// this file only wires the two to the Engine surface. Because the
+// partitioner maps each shard's ascending local answer to an ascending
+// global subsequence, the merge is a pure k-way interleave, which is
+// what makes sharded answers byte-identical to the single-engine ones.
 //
 // Each shard's inner engine is chosen per shard by internal/stats while
 // the records stream in: skewed shards get the paper's Ordered Inverted
@@ -48,14 +46,15 @@ type ShardPlan struct {
 
 type shardedEngine struct {
 	shards []Engine
+	part   Partitioner
 	plans  []ShardPlan
 	domain int
 
-	// nextID is the round-robin partition counter: the highest global id
-	// handed out so far (tombstoned slots included). Insert routes by it
-	// and advances it only on success — a failed shard insert must leave
-	// the global-id ↔ shard mapping exactly where it was, or every later
-	// record would land on the wrong shard.
+	// nextID is the partition counter: the highest global id handed out
+	// so far (tombstoned slots included). Insert routes by it and
+	// advances it only on success — a failed shard insert must leave
+	// the global-id ↔ shard mapping exactly where it was, or every
+	// later record would land on the wrong shard.
 	nextID uint32
 }
 
@@ -63,15 +62,24 @@ type shardedEngine struct {
 // pool to re-point; meter its shards individually via Unwrap.
 var errShardedPool = errors.New("setcontain: sharded engine has per-shard buffer pools; meter shards via Unwrap")
 
-// buildShardedEngine partitions the dataset round-robin across
-// opts.Shards sub-datasets, profiles each shard's item-frequency skew
-// during the split, and builds every shard's planner-chosen engine in
-// parallel (bounded by opts.BuildParallelism goroutines).
+// buildShardedEngine splits the dataset across opts.Shards sub-datasets
+// through the round-robin Partitioner, profiles each shard's
+// item-frequency skew during the split, and builds every shard's
+// planner-chosen engine in parallel (bounded by opts.BuildParallelism
+// goroutines).
 func buildShardedEngine(ds *dataset.Dataset, opts Options) (Engine, error) {
 	n := opts.Shards
 	if n <= 0 {
 		n = defaultShards()
 	}
+	return buildShardedWith(ds, opts, NewRoundRobinPartitioner(n))
+}
+
+// buildShardedWith is buildShardedEngine under an explicit Partitioner:
+// the one place the partition scheme touches the build path. Tests
+// swap alternative schemes in here.
+func buildShardedWith(ds *dataset.Dataset, opts Options, part Partitioner) (Engine, error) {
+	n := part.NumShards()
 	par := opts.BuildParallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
@@ -80,7 +88,9 @@ func buildShardedEngine(ds *dataset.Dataset, opts Options) (Engine, error) {
 		par = n
 	}
 
-	// Split round-robin, profiling each shard as its records stream in.
+	// Split through the partitioner, profiling each shard as its
+	// records stream in. The dataset hands out ids 1..Len in order, so
+	// record i carries global id i+1.
 	subs := make([]*dataset.Dataset, n)
 	colls := make([]*stats.Collector, n)
 	for s := range subs {
@@ -88,15 +98,21 @@ func buildShardedEngine(ds *dataset.Dataset, opts Options) (Engine, error) {
 		colls[s] = stats.NewCollector(ds.DomainSize())
 	}
 	for i, r := range ds.Records() {
-		s := i % n
-		if _, err := subs[s].Add(r.Set); err != nil {
+		s, local := part.Locate(uint32(i) + 1)
+		id, err := subs[s].Add(r.Set)
+		if err != nil {
 			return nil, fmt.Errorf("setcontain: shard %d: %w", s, err)
+		}
+		if id != local {
+			return nil, fmt.Errorf("setcontain: shard %d: partitioner routed global %d to local %d, shard assigned %d",
+				s, i+1, local, id)
 		}
 		colls[s].Add(r.Set)
 	}
 
 	eng := &shardedEngine{
 		shards: make([]Engine, n),
+		part:   part,
 		plans:  make([]ShardPlan, n),
 		domain: ds.DomainSize(),
 	}
@@ -117,33 +133,6 @@ func buildShardedEngine(ds *dataset.Dataset, opts Options) (Engine, error) {
 	}
 	eng.nextID = uint32(ds.Len())
 	return eng, nil
-}
-
-// forEachShard runs f for every shard index concurrently, bounded by at
-// most `bound` goroutines (<= 0 selects GOMAXPROCS), and returns the
-// per-shard errors. It is the one fan-out loop behind parallel shard
-// builds, merges, and snapshot encode/decode.
-func forEachShard(n, bound int, f func(s int) error) []error {
-	if bound <= 0 {
-		bound = runtime.GOMAXPROCS(0)
-	}
-	if bound > n {
-		bound = n
-	}
-	errs := make([]error, n)
-	sem := make(chan struct{}, bound)
-	var wg sync.WaitGroup
-	for s := 0; s < n; s++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(s int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			errs[s] = f(s)
-		}(s)
-	}
-	wg.Wait()
-	return errs
 }
 
 // buildShard plans and builds one shard's inner engine from its profiled
@@ -193,8 +182,19 @@ func shardedOf(shards []Engine) (Engine, error) {
 	if len(shards) == 0 {
 		return nil, errors.New("setcontain: sharded engine needs at least one shard")
 	}
+	return shardedWith(NewRoundRobinPartitioner(len(shards)), shards)
+}
+
+// shardedWith rewraps inner engines under an explicit Partitioner; the
+// engines must hold that partitioner's split in shard order.
+func shardedWith(part Partitioner, shards []Engine) (Engine, error) {
+	if part.NumShards() != len(shards) {
+		return nil, fmt.Errorf("setcontain: partitioner expects %d shards, got %d",
+			part.NumShards(), len(shards))
+	}
 	eng := &shardedEngine{
 		shards: shards,
+		part:   part,
 		plans:  make([]ShardPlan, len(shards)),
 		domain: shards[0].DomainSize(),
 	}
@@ -215,6 +215,18 @@ func ShardPlans(e Engine) []ShardPlan {
 	return append([]ShardPlan(nil), se.plans...)
 }
 
+// ShardEngines returns a sharded engine's inner engines in shard order,
+// and nil for any other engine. The engines are shared, not copied —
+// wrapping them (e.g. in InprocShard clients for a transport
+// experiment) aliases the original's state.
+func ShardEngines(e Engine) []Engine {
+	se, ok := e.(*shardedEngine)
+	if !ok {
+		return nil
+	}
+	return append([]Engine(nil), se.shards...)
+}
+
 func (e *shardedEngine) Kind() Kind      { return Sharded }
 func (e *shardedEngine) DomainSize() int { return e.domain }
 
@@ -230,9 +242,9 @@ func (e *shardedEngine) NumRecords() int {
 // slice back.
 func (e *shardedEngine) Unwrap() any { return append([]Engine(nil), e.shards...) }
 
-// ItemSupports sums the shards' support tables: the round-robin
-// partition splits records, not items, so the global support of an item
-// is the sum of its per-shard supports.
+// ItemSupports sums the shards' support tables: the partition splits
+// records, not items, so the global support of an item is the sum of
+// its per-shard supports.
 func (e *shardedEngine) ItemSupports() []int64 {
 	supports := make([]int64, e.domain)
 	for _, sh := range e.shards {
@@ -243,146 +255,40 @@ func (e *shardedEngine) ItemSupports() []int64 {
 	return supports
 }
 
-// MergeSeqs interleaves already-ascending id sequences into one
-// ascending sequence, consuming each input lazily (via iter.Pull) — the
-// streaming form of the k-way interleave the sharded engine's hot path
-// performs directly (mergeLocals). Inputs must yield comparable ids
-// from the same id space: per-shard *local* answers need the round-robin
-// global mapping applied first. Nil sequences are skipped.
-func MergeSeqs(seqs ...iter.Seq[uint32]) iter.Seq[uint32] {
-	return func(yield func(uint32) bool) {
-		type head struct {
-			v    uint32
-			next func() (uint32, bool)
-			stop func()
-		}
-		heads := make([]head, 0, len(seqs))
-		defer func() {
-			for _, h := range heads {
-				h.stop()
-			}
-		}()
-		for _, s := range seqs {
-			if s == nil {
-				continue
-			}
-			next, stop := iter.Pull(s)
-			v, ok := next()
-			if !ok {
-				stop()
-				continue
-			}
-			heads = append(heads, head{v: v, next: next, stop: stop})
-		}
-		for len(heads) > 0 {
-			mi := 0
-			for i := 1; i < len(heads); i++ {
-				if heads[i].v < heads[mi].v {
-					mi = i
-				}
-			}
-			if !yield(heads[mi].v) {
-				return
-			}
-			if v, ok := heads[mi].next(); ok {
-				heads[mi].v = v
-			} else {
-				heads[mi].stop()
-				heads[mi] = heads[len(heads)-1]
-				heads = heads[:len(heads)-1]
-			}
-		}
-	}
-}
-
-// fanOut runs query against every shard concurrently (the shards have
-// independent buffer pools, so one in-flight query per shard is safe),
-// then merges the per-shard answers in global id order. The merge is a
-// direct k-way interleave over the materialized local answers — the
-// hot query path skips the iter.Pull machinery; MergeSeqs provides the
-// same merge for callers composing lazy streams.
-func fanOut(nShards int, query func(shard int) ([]uint32, error)) ([]uint32, error) {
-	locals := make([][]uint32, nShards)
-	errs := make([]error, nShards)
-	var wg sync.WaitGroup
-	for s := 0; s < nShards; s++ {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			locals[s], errs[s] = query(s)
-		}(s)
-	}
-	wg.Wait()
-	for s := range locals {
-		if errs[s] != nil {
-			return nil, errs[s]
-		}
-	}
-	return mergeLocals(locals), nil
-}
-
-// mergeLocals interleaves the shards' ascending local answers into one
-// ascending global-id slice, mapping local ids through the round-robin
-// partition on the fly.
-func mergeLocals(locals [][]uint32) []uint32 {
-	n := len(locals)
-	total := 0
-	for _, l := range locals {
-		total += len(l)
-	}
-	out := make([]uint32, 0, total)
-	if total == 0 {
-		return out
-	}
-	pos := make([]int, n)
-	for {
-		best := -1
-		var bestID uint32
-		for s, l := range locals {
-			if pos[s] >= len(l) {
-				continue
-			}
-			id := (l[pos[s]]-1)*uint32(n) + uint32(s) + 1
-			if best < 0 || id < bestID {
-				best, bestID = s, id
-			}
-		}
-		if best < 0 {
-			return out
-		}
-		out = append(out, bestID)
-		pos[best]++
-	}
+// gather scatters query over the shards (no cancellation signal at the
+// engine level — Store readers carry that) and merges to global order.
+func (e *shardedEngine) gather(query func(shard int) ([]uint32, error)) ([]uint32, error) {
+	return scatterGather(context.Background(), e.part,
+		func(_ context.Context, s int) ([]uint32, error) { return query(s) })
 }
 
 func (e *shardedEngine) Subset(qs []Item) ([]uint32, error) {
-	return fanOut(len(e.shards), func(s int) ([]uint32, error) { return e.shards[s].Subset(qs) })
+	return e.gather(func(s int) ([]uint32, error) { return e.shards[s].Subset(qs) })
 }
 
 func (e *shardedEngine) Equality(qs []Item) ([]uint32, error) {
-	return fanOut(len(e.shards), func(s int) ([]uint32, error) { return e.shards[s].Equality(qs) })
+	return e.gather(func(s int) ([]uint32, error) { return e.shards[s].Equality(qs) })
 }
 
 func (e *shardedEngine) Superset(qs []Item) ([]uint32, error) {
-	return fanOut(len(e.shards), func(s int) ([]uint32, error) { return e.shards[s].Superset(qs) })
+	return e.gather(func(s int) ([]uint32, error) { return e.shards[s].Superset(qs) })
 }
 
-// Insert routes the record to the shard the round-robin partition
-// assigns its global id, so the id mapping stays exact across updates.
-// The partition counter advances only after the shard accepted the
-// record: an error leaves the mapping untouched, so the next Insert
-// retries the same global id on the same shard.
+// Insert routes the record to the shard the partitioner assigns its
+// global id, so the id mapping stays exact across updates. The
+// partition counter advances only after the shard accepted the record:
+// an error leaves the mapping untouched, so the next Insert retries the
+// same global id on the same shard.
 func (e *shardedEngine) Insert(set []Item) (uint32, error) {
-	n := len(e.shards)
 	global := e.nextID + 1
-	s := int((global - 1) % uint32(n))
+	s, want := e.part.Locate(global)
 	local, err := e.shards[s].Insert(set)
 	if err != nil {
 		return 0, err
 	}
-	if mapped := (local-1)*uint32(n) + uint32(s) + 1; mapped != global {
+	if local != want {
 		return 0, fmt.Errorf("setcontain: shard %d id drift: local %d maps to %d, want %d",
-			s, local, mapped, global)
+			s, local, e.part.GlobalOf(s, local), global)
 	}
 	e.nextID = global
 	e.plans[s].Records++
@@ -390,14 +296,14 @@ func (e *shardedEngine) Insert(set []Item) (uint32, error) {
 }
 
 // Delete routes the tombstone to the shard owning the global id via the
-// inverse round-robin mapping; the masked id never surfaces from any
+// partitioner's inverse mapping; the masked id never surfaces from any
 // shard's stream again.
 func (e *shardedEngine) Delete(id uint32) error {
 	if id == 0 || id > e.nextID {
 		return fmt.Errorf("setcontain: delete of unknown record %d (have %d)", id, e.nextID)
 	}
-	n := uint32(len(e.shards))
-	return e.shards[(id-1)%n].Delete((id-1)/n + 1)
+	s, local := e.part.Locate(id)
+	return e.shards[s].Delete(local)
 }
 
 // Deleted sums the shards' tombstone counts.
@@ -431,7 +337,7 @@ func (e *shardedEngine) PendingInserts() int {
 // parallel fan-out, global-order merge — and propagates interrupts to
 // every shard pool, which is how Store cancellation reaches all shards.
 func (e *shardedEngine) NewReader(cachePages int) (*Reader, error) {
-	sr := &shardedReader{shards: make([]*Reader, len(e.shards))}
+	sr := &shardedReader{shards: make([]*Reader, len(e.shards)), part: e.part}
 	for s, sh := range e.shards {
 		r, err := sh.NewReader(cachePages)
 		if err != nil {
@@ -486,25 +392,36 @@ func (e *shardedEngine) DecodedStats() DecodedCacheStats {
 func (e *shardedEngine) SetPool(*storage.BufferPool) error { return errShardedPool }
 
 // Pool returns the first shard's pool so pool-shape probes (page size,
-// pager identity) keep working; metering must go per shard.
+// pager identity) keep working; metering must go per shard. Remote
+// shards have no local pool — the probe then reports nil.
 func (e *shardedEngine) Pool() *storage.BufferPool { return e.shards[0].Pool() }
 
 // shardedReader is the engineReader behind a sharded Reader: isolated
-// per-shard readers queried with the same fan-out/merge as the engine.
+// per-shard readers queried with the same scatter-gather as the engine.
 type shardedReader struct {
 	shards []*Reader
+	part   Partitioner
+}
+
+// gather mirrors shardedEngine.gather on the reader's shard handles.
+// Cancellation flows through the interrupt hooks installed by
+// setInterrupt rather than the context, so the engine-level Queryable
+// surface stays context-free.
+func (r *shardedReader) gather(query func(shard int) ([]uint32, error)) ([]uint32, error) {
+	return scatterGather(context.Background(), r.part,
+		func(_ context.Context, s int) ([]uint32, error) { return query(s) })
 }
 
 func (r *shardedReader) Subset(qs []Item) ([]uint32, error) {
-	return fanOut(len(r.shards), func(s int) ([]uint32, error) { return r.shards[s].Subset(qs) })
+	return r.gather(func(s int) ([]uint32, error) { return r.shards[s].Subset(qs) })
 }
 
 func (r *shardedReader) Equality(qs []Item) ([]uint32, error) {
-	return fanOut(len(r.shards), func(s int) ([]uint32, error) { return r.shards[s].Equality(qs) })
+	return r.gather(func(s int) ([]uint32, error) { return r.shards[s].Equality(qs) })
 }
 
 func (r *shardedReader) Superset(qs []Item) ([]uint32, error) {
-	return fanOut(len(r.shards), func(s int) ([]uint32, error) { return r.shards[s].Superset(qs) })
+	return r.gather(func(s int) ([]uint32, error) { return r.shards[s].Superset(qs) })
 }
 
 func (r *shardedReader) Stats() storage.AccessStats {

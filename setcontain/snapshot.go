@@ -30,11 +30,6 @@ const (
 	containerMagic   = "SCSNAP01"
 	containerVersion = 1
 
-	// partitionRoundRobin is the only partition scheme the sharded
-	// engine uses: record id modulo shard count. The manifest records it
-	// so future schemes can coexist.
-	partitionRoundRobin = 0
-
 	// maxSnapshotShards bounds the manifest's shard count so a corrupt
 	// header cannot force a huge allocation.
 	maxSnapshotShards = 1 << 16
@@ -147,7 +142,13 @@ func openEngine(r io.Reader, o Options, nested bool) (Engine, error) {
 // Save on a sharded engine: the manifest plus per-shard sub-containers,
 // encoded in parallel and written as length-framed blobs.
 func (e *shardedEngine) Save(w io.Writer) error {
-	return saveContainer(w, Sharded, e.Pool().Capacity(), e.saveShardedPayload)
+	// Remote shards have no local buffer pool; record a zero cache
+	// budget and let Open's defaults (or WithCachePages) decide.
+	cachePages := 0
+	if p := e.shards[0].Pool(); p != nil {
+		cachePages = p.Capacity()
+	}
+	return saveContainer(w, Sharded, cachePages, e.saveShardedPayload)
 }
 
 func (e *shardedEngine) saveShardedPayload(w io.Writer) error {
@@ -166,7 +167,7 @@ func (e *shardedEngine) saveShardedPayload(w io.Writer) error {
 	// lengths — carries its own CRC trailer; the frames that follow are
 	// nested containers verifying themselves.
 	cw := snapio.NewWriter(w)
-	for _, v := range []uint32{uint32(n), partitionRoundRobin, uint32(e.domain)} {
+	for _, v := range []uint32{uint32(n), uint32(e.part.Scheme()), uint32(e.domain)} {
 		if err := snapio.WriteU32(cw, v); err != nil {
 			return err
 		}
@@ -197,10 +198,19 @@ func (e *shardedEngine) saveShardedPayload(w io.Writer) error {
 	return nil
 }
 
-// loadShardedPayload reads the manifest, then decodes every shard's
-// sub-container in parallel and reassembles the sharded engine with its
-// build-time plans.
-func loadShardedPayload(r io.Reader, o Options) (Engine, error) {
+// shardManifest is the decoded sharded-payload manifest: the partition
+// scheme, vocabulary, build-time plans, and the byte length of every
+// shard's nested sub-container frame that follows it.
+type shardManifest struct {
+	scheme    PartitionScheme
+	domain    int
+	plans     []ShardPlan
+	frameLens []uint64
+}
+
+// readShardManifest consumes and validates the CRC-trailed sharded
+// manifest, leaving r positioned at the first shard frame.
+func readShardManifest(r io.Reader) (*shardManifest, error) {
 	cr := snapio.NewReader(r)
 	var hdr [3]uint32
 	for i := range hdr {
@@ -210,15 +220,17 @@ func loadShardedPayload(r io.Reader, o Options) (Engine, error) {
 		}
 		hdr[i] = v
 	}
-	n, scheme, domain := int(hdr[0]), hdr[1], int(hdr[2])
+	n := int(hdr[0])
 	if n <= 0 || n > maxSnapshotShards {
 		return nil, fmt.Errorf("%w: implausible shard count %d", ErrBadSnapshot, n)
 	}
-	if scheme != partitionRoundRobin {
-		return nil, fmt.Errorf("%w: unknown partition scheme %d", ErrBadSnapshot, scheme)
+	m := &shardManifest{
+		scheme:    PartitionScheme(hdr[1]),
+		domain:    int(hdr[2]),
+		plans:     make([]ShardPlan, n),
+		frameLens: make([]uint64, n),
 	}
-	plans := make([]ShardPlan, n)
-	for s := range plans {
+	for s := range m.plans {
 		var pw [3]uint32
 		for i := range pw {
 			v, err := snapio.ReadU32(cr)
@@ -231,7 +243,7 @@ func loadShardedPayload(r io.Reader, o Options) (Engine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: shard %d plan: %v", ErrBadSnapshot, s, err)
 		}
-		plans[s] = ShardPlan{
+		m.plans[s] = ShardPlan{
 			Shard:         s,
 			Kind:          Kind(pw[0]),
 			Records:       int(pw[1]),
@@ -239,20 +251,36 @@ func loadShardedPayload(r io.Reader, o Options) (Engine, error) {
 			Theta:         math.Float64frombits(theta),
 		}
 	}
-	frameLens := make([]uint64, n)
-	for s := range frameLens {
+	for s := range m.frameLens {
 		v, err := snapio.ReadU64(cr)
 		if err != nil || v > snapio.MaxSliceLen {
 			return nil, fmt.Errorf("%w: shard %d frame length", ErrBadSnapshot, s)
 		}
-		frameLens[s] = v
+		m.frameLens[s] = v
 	}
 	if err := cr.VerifyTrailer(); err != nil {
 		return nil, fmt.Errorf("%w: manifest: %v", ErrBadSnapshot, err)
 	}
+	return m, nil
+}
+
+// loadShardedPayload reads the manifest, reconstructs the partitioner
+// the manifest names, then decodes every shard's sub-container in
+// parallel and reassembles the sharded engine with its build-time
+// plans.
+func loadShardedPayload(r io.Reader, o Options) (Engine, error) {
+	m, err := readShardManifest(r)
+	if err != nil {
+		return nil, err
+	}
+	n := len(m.plans)
+	part, err := partitionerOfScheme(m.scheme, n)
+	if err != nil {
+		return nil, err
+	}
 	frames := make([][]byte, n)
 	for s := range frames {
-		frames[s] = make([]byte, frameLens[s])
+		frames[s] = make([]byte, m.frameLens[s])
 		if _, err := io.ReadFull(r, frames[s]); err != nil {
 			return nil, fmt.Errorf("%w: shard %d frame: %v", ErrBadSnapshot, s, err)
 		}
@@ -264,9 +292,9 @@ func loadShardedPayload(r io.Reader, o Options) (Engine, error) {
 		if err != nil {
 			return err
 		}
-		if eng.Kind() != plans[s].Kind {
+		if eng.Kind() != m.plans[s].Kind {
 			return fmt.Errorf("%w: shard is %v, manifest says %v",
-				ErrBadSnapshot, eng.Kind(), plans[s].Kind)
+				ErrBadSnapshot, eng.Kind(), m.plans[s].Kind)
 		}
 		shards[s] = eng
 		return nil
@@ -276,7 +304,41 @@ func loadShardedPayload(r io.Reader, o Options) (Engine, error) {
 			return nil, fmt.Errorf("shard %d: %w", s, err)
 		}
 	}
-	eng := &shardedEngine{shards: shards, plans: plans, domain: domain}
+	eng := &shardedEngine{shards: shards, part: part, plans: m.plans, domain: m.domain}
 	eng.nextID = uint32(eng.NumRecords())
 	return eng, nil
+}
+
+// SplitSnapshot reads a sharded snapshot container from r and emits
+// every shard's frame in shard order. Each frame is itself a complete
+// single-engine snapshot container — bootable standalone by Open or
+// `setcontaind -snapshot` — which is how a coordinator's snapshot is
+// decomposed into per-shard snapshots for remote shard daemons to
+// restore from. emit must consume the frame before returning (any
+// unread remainder is drained); a non-nil emit error aborts the split.
+func SplitSnapshot(r io.Reader, emit func(shard int, plan ShardPlan, frame io.Reader) error) error {
+	kind, _, err := readContainerHeader(r)
+	if err != nil {
+		return err
+	}
+	if kind != Sharded {
+		return fmt.Errorf("%w: cannot split a %v container into shards", ErrBadSnapshot, kind)
+	}
+	m, err := readShardManifest(r)
+	if err != nil {
+		return err
+	}
+	if _, err := partitionerOfScheme(m.scheme, len(m.plans)); err != nil {
+		return err
+	}
+	for s := range m.plans {
+		lr := io.LimitReader(r, int64(m.frameLens[s]))
+		if err := emit(s, m.plans[s], lr); err != nil {
+			return fmt.Errorf("setcontain: splitting shard %d: %w", s, err)
+		}
+		if _, err := io.Copy(io.Discard, lr); err != nil {
+			return fmt.Errorf("%w: shard %d frame: %v", ErrBadSnapshot, s, err)
+		}
+	}
+	return nil
 }

@@ -142,7 +142,7 @@ func (s *Store) ExecExprAppend(ctx context.Context, dst []uint32, expr *Expr) ([
 		e.arm(ctx)
 	}
 	if sr, ok := e.r.r.(*shardedReader); ok {
-		return s.execExprSharded(dst, plan, sr)
+		return s.execExprSharded(ctx, dst, expr, plan, sr, 0)
 	}
 	ids, st, err := e.eval.EvalAppend(dst, plan, e.r)
 	if err != nil {
@@ -196,7 +196,7 @@ func (s *Store) ExecExprLimitAppend(ctx context.Context, dst []uint32, expr *Exp
 		e.arm(ctx)
 	}
 	if sr, ok := e.r.r.(*shardedReader); ok {
-		return s.execExprShardedLimit(dst, plan, sr, n)
+		return s.execExprSharded(ctx, dst, expr, plan, sr, n)
 	}
 	ids, st, err := e.eval.EvalLimitAppend(dst, plan, e.r, n)
 	if err != nil {
@@ -213,44 +213,43 @@ func (s *Store) ExecExprLimitSeq(ctx context.Context, expr *Expr, n int) (iter.S
 	return seqOf(s.ExecExprLimit(ctx, expr, n))
 }
 
-// execExprSharded evaluates the whole plan against every shard in
-// parallel and k-way merges the local answers into global id order.
-// The boolean algebra distributes over the round-robin partition — the
-// shards hold disjoint record sets, so each shard's local answer (its
-// NOT universe included) is exactly the global answer restricted to
-// that shard — which keeps sharded expression answers byte-identical to
-// single-engine ones while every shard plans, short-circuits, and
+// execExprSharded evaluates the expression against every shard through
+// the scatter-gather executor and k-way merges the local answers into
+// global id order. The boolean algebra distributes over the partition —
+// the shards hold disjoint record sets, so each shard's local answer
+// (its NOT universe included) is exactly the global answer restricted
+// to that shard — which keeps sharded expression answers byte-identical
+// to single-engine ones while every shard plans, short-circuits, and
 // combines independently.
-func (s *Store) execExprSharded(dst []uint32, plan *ExprPlan, sr *shardedReader) ([]uint32, error) {
+//
+// A shard whose reader can accept whole expressions (a remote shard
+// client) gets the original expression pushed down and plans it against
+// its own local supports; the rest evaluate the coordinator's plan
+// directly. With n > 0 the limit is pushed per shard — the partitioner
+// maps each shard's ascending local answer to an ascending global
+// subsequence, so the global first n ids are always contained in the
+// union of the shards' local first n — then the merged answer is
+// truncated.
+func (s *Store) execExprSharded(ctx context.Context, dst []uint32, expr *Expr, plan *ExprPlan, sr *shardedReader, n int) ([]uint32, error) {
 	stats := make([]ExprEvalStats, len(sr.shards))
-	ids, err := fanOut(len(sr.shards), func(shard int) ([]uint32, error) {
-		local, st, err := plan.EvalAppend(nil, sr.shards[shard])
+	ids, err := scatterGather(ctx, sr.part, func(cctx context.Context, shard int) ([]uint32, error) {
+		rd := sr.shards[shard]
+		if pe, ok := rd.r.(exprAppender); ok {
+			return pe.AppendExpr(cctx, nil, expr, n)
+		}
+		if n > 0 {
+			local, st, err := plan.EvalLimitAppend(nil, rd, n)
+			stats[shard] = st
+			return local, err
+		}
+		local, st, err := plan.EvalAppend(nil, rd)
 		stats[shard] = st
 		return local, err
 	})
 	if err != nil {
 		return nil, err
 	}
-	s.noteExprEval(sumShardStats(stats))
-	return append(dst, ids...), nil
-}
-
-// execExprShardedLimit pushes the limit down to every shard: the
-// round-robin partition maps each shard's ascending local answer to an
-// ascending global subsequence, so the global first n ids are always
-// contained in the union of the shards' local first n — evaluate each
-// shard under limit n, merge, and truncate.
-func (s *Store) execExprShardedLimit(dst []uint32, plan *ExprPlan, sr *shardedReader, n int) ([]uint32, error) {
-	stats := make([]ExprEvalStats, len(sr.shards))
-	ids, err := fanOut(len(sr.shards), func(shard int) ([]uint32, error) {
-		local, st, err := plan.EvalLimitAppend(nil, sr.shards[shard], n)
-		stats[shard] = st
-		return local, err
-	})
-	if err != nil {
-		return nil, err
-	}
-	if len(ids) > n {
+	if n > 0 && len(ids) > n {
 		ids = ids[:n]
 	}
 	s.noteExprEval(sumShardStats(stats))
@@ -366,11 +365,7 @@ func (s *Store) ExecExprBatchAppend(ctx context.Context, items []ExprBatchItem) 
 			e.item = ictx
 		}
 		if sr, ok := e.r.r.(*shardedReader); ok {
-			if it.Limit > 0 {
-				it.Out, it.Err = s.execExprShardedLimit(it.Dst, plans[i], sr, it.Limit)
-			} else {
-				it.Out, it.Err = s.execExprSharded(it.Dst, plans[i], sr)
-			}
+			it.Out, it.Err = s.execExprSharded(ictx, it.Dst, it.Expr, plans[i], sr, it.Limit)
 			continue
 		}
 		ids, st, err := e.eval.evalCSE(it.Dst, plans[i], e.r, cse, it.Limit)
